@@ -1,0 +1,71 @@
+// Ablation C: the Section-4.4 clustering speedup.
+//
+// Compares direct Algorithm-1 selection against the clustered variant for
+// several cluster counts: wall-clock time, selection size, achieved
+// worst-case error, and Monte-Carlo e1.  Clustering cuts the factorization
+// cost ~k^2-fold at the price of a somewhat larger representative set.
+#include <cstdio>
+
+#include "core/benchmarks.h"
+#include "core/clustering.h"
+#include "core/monte_carlo.h"
+#include "core/path_selection.h"
+#include "util/stopwatch.h"
+#include "util/text.h"
+
+int main() {
+  using namespace repro;
+  const int scale = util::repro_scale_mode();
+  const std::string bench = (scale == 2) ? "s9234" : "s1423";
+
+  std::printf("=== Ablation C: clustered selection speedup (%s, eps = 5%%) "
+              "===\n\n",
+              bench.c_str());
+  const core::Experiment e(core::default_experiment_config(bench));
+  const auto& a = e.model().a();
+  std::printf("|Ptar| = %zu, m = %zu\n\n", a.rows(), a.cols());
+
+  util::TextTable table(
+      {"method", "clusters", "|Pr|", "eps_r%", "greedy_adds", "e1%", "sec"});
+
+  core::McOptions mc;
+  mc.samples = core::default_mc_samples() / 2;
+
+  {
+    util::Stopwatch sw;
+    core::PathSelectionOptions opt;
+    opt.epsilon = 0.05;
+    const core::PathSelectionResult direct =
+        core::select_representative_paths(a, e.t_cons_ps(), opt);
+    const double secs = sw.seconds();
+    const core::LinearPredictor pred = core::make_path_predictor(
+        a, e.model().mu_paths(), direct.representatives);
+    const core::McMetrics m = core::evaluate_predictor(e.model(), pred, mc);
+    table.add_row({"direct", "1", std::to_string(direct.representatives.size()),
+                   util::fmt_percent(direct.eps_r, 2), "0",
+                   util::fmt_percent(m.e1, 2), util::fmt_double(secs, 2)});
+    std::fflush(stdout);
+  }
+
+  for (std::size_t k : {2u, 4u, 8u, 16u}) {
+    util::Stopwatch sw;
+    core::ClusteredSelectionOptions copt;
+    copt.num_clusters = k;
+    copt.selection.epsilon = 0.05;
+    const core::ClusteredSelectionResult r =
+        core::select_paths_clustered(a, e.t_cons_ps(), copt);
+    const double secs = sw.seconds();
+    const core::LinearPredictor pred = core::make_path_predictor(
+        a, e.model().mu_paths(), r.representatives);
+    const core::McMetrics m = core::evaluate_predictor(e.model(), pred, mc);
+    table.add_row({"clustered", std::to_string(k),
+                   std::to_string(r.representatives.size()),
+                   util::fmt_percent(r.eps_r, 2),
+                   std::to_string(r.greedy_additions),
+                   util::fmt_percent(m.e1, 2), util::fmt_double(secs, 2)});
+    std::fflush(stdout);
+  }
+  std::printf("%s\nCSV\n%s", table.render().c_str(),
+              table.render_csv().c_str());
+  return 0;
+}

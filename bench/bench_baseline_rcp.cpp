@@ -1,0 +1,85 @@
+// Baseline comparison: representative critical path (Liu & Sapatnekar,
+// ISPD'09 — the paper's reference [7]) vs this framework.
+//
+// RCP measures ONE synthesized path and predicts the chip delay; the paper's
+// framework measures |Pr| paths and predicts EVERY target path.  This bench
+// quantifies both sides on the same circuits: chip-delay prediction error of
+// the RCP regressor (where RCP is good) and per-path worst-case error of a
+// single-path predictor (where RCP cannot go), next to the framework's
+// numbers at eps = 5%.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/baseline_rcp.h"
+#include "core/benchmarks.h"
+#include "core/monte_carlo.h"
+#include "core/path_selection.h"
+#include "timing/ssta.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/text.h"
+
+int main() {
+  using namespace repro;
+  const int scale = util::repro_scale_mode();
+  std::vector<std::string> benches{"s1196", "s1423", "s5378"};
+  if (scale == 0) benches = {"s1196"};
+
+  std::printf("=== Baseline: representative critical path (ref [7]) vs "
+              "framework ===\n\n");
+  util::TextTable table({"BENCH", "rcp_corr", "chip_err%", "rcp_path_e1%",
+                         "fw_|Pr|", "fw_e1%"});
+  for (const std::string& name : benches) {
+    const core::Experiment e(core::default_experiment_config(name));
+    const auto& m = e.model();
+    const timing::SstaResult ssta =
+        timing::run_ssta(e.graph(), e.spatial(), e.config().random_scale);
+    const core::RcpResult rcp =
+        core::select_representative_critical_path(m, e.spatial(), ssta);
+
+    // Chip-delay prediction error of the RCP regressor (Monte Carlo).
+    util::Rng rng(11);
+    linalg::Vector x(m.num_params());
+    util::RunningStats chip_err;
+    for (int s = 0; s < 2000; ++s) {
+      for (double& v : x) v = rng.normal();
+      const linalg::Vector d = m.path_delays(x);
+      double chip = 0.0;
+      for (double v : d) chip = std::max(chip, v);
+      const double pred =
+          rcp.slope * d[static_cast<std::size_t>(rcp.path_index)] +
+          rcp.intercept;
+      chip_err.add(std::abs(pred - chip) / chip);
+    }
+
+    // Per-path prediction from the single RCP measurement (what RCP cannot
+    // do) vs the framework at eps = 5%.
+    const core::LinearPredictor single =
+        core::make_path_predictor(m.a(), m.mu_paths(), {rcp.path_index});
+    core::McOptions mc;
+    mc.samples = core::default_mc_samples() / 2;
+    const core::McMetrics rcp_paths = core::evaluate_predictor(m, single, mc);
+
+    core::PathSelectionOptions opt;
+    opt.epsilon = 0.05;
+    const core::PathSelectionResult sel =
+        core::select_representative_paths(m.a(), e.t_cons_ps(), opt);
+    const core::LinearPredictor fw = core::make_path_predictor(
+        m.a(), m.mu_paths(), sel.representatives);
+    const core::McMetrics fw_paths = core::evaluate_predictor(m, fw, mc);
+
+    table.add_row({name, util::fmt_double(rcp.correlation, 3),
+                   util::fmt_percent(chip_err.mean(), 2),
+                   util::fmt_percent(rcp_paths.e1, 2),
+                   std::to_string(sel.representatives.size()),
+                   util::fmt_percent(fw_paths.e1, 2)});
+    std::fflush(stdout);
+  }
+  std::printf("%s\nCSV\n%s", table.render().c_str(),
+              table.render_csv().c_str());
+  std::printf(
+      "\nReading: the RCP predicts the chip delay well (chip_err) but its\n"
+      "single measurement leaves large per-path errors (rcp_path_e1); the\n"
+      "framework's |Pr| measurements bring every path under eps = 5%%.\n");
+  return 0;
+}

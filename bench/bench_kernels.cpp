@@ -1,0 +1,148 @@
+// Kernel microbenchmarks (google-benchmark): the numerical workhorses behind
+// the selection algorithms — GEMM/Gram, SVD, pivoted QR, symmetric eigen,
+// Cholesky-based error evaluation, and the l1-ball projection.
+#include <benchmark/benchmark.h>
+
+#include "core/error_model.h"
+#include "core/group_sparse.h"
+#include "core/subset_select.h"
+#include "linalg/cholesky.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/gemm.h"
+#include "linalg/qr_colpivot.h"
+#include "linalg/svd.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace repro;
+
+linalg::Matrix random_matrix(std::size_t r, std::size_t c,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  linalg::Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.normal();
+  }
+  return m;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = random_matrix(n, n, 1);
+  const linalg::Matrix b = random_matrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::multiply(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Gram(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = random_matrix(n, 2 * n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::gram(a));
+  }
+}
+BENCHMARK(BM_Gram)->Arg(128)->Arg(256);
+
+void BM_SvdValuesOnly(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = random_matrix(2 * n, n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::svd(a, /*want_uv=*/false));
+  }
+}
+BENCHMARK(BM_SvdValuesOnly)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SvdFull(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = random_matrix(2 * n, n, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::svd(a));
+  }
+}
+BENCHMARK(BM_SvdFull)->Arg(64)->Arg(128);
+
+void BM_QrColPivot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = random_matrix(n, 2 * n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::qr_colpivot(a));
+  }
+}
+BENCHMARK(BM_QrColPivot)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_EigenSym(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = linalg::gram(random_matrix(n, n, 7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::eigen_sym(a));
+  }
+}
+BENCHMARK(BM_EigenSym)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SelectionErrorEvaluation(benchmark::State& state) {
+  // The Algorithm-1 inner loop: one candidate-r error evaluation from the
+  // precomputed Gram matrix.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = random_matrix(n, n / 2, 8);
+  const linalg::Matrix w = linalg::gram(a);
+  std::vector<int> rep;
+  for (std::size_t i = 0; i < n / 8; ++i) rep.push_back(static_cast<int>(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::selection_errors_from_gram(w, rep, 1000.0, 3.0));
+  }
+}
+BENCHMARK(BM_SelectionErrorEvaluation)->Arg(128)->Arg(512);
+
+void BM_SubsetSelect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = random_matrix(n, n / 2, 9);
+  const core::SubsetSelector selector(a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.select(n / 8));
+  }
+}
+BENCHMARK(BM_SubsetSelect)->Arg(128)->Arg(512);
+
+void BM_L1BallProjection(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(10);
+  linalg::Vector v(n);
+  for (double& x : v) x = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::project_l1_ball(v, 1.0));
+  }
+}
+BENCHMARK(BM_L1BallProjection)->Arg(256)->Arg(4096);
+
+void BM_GroupSparseAdmm(benchmark::State& state) {
+  // Small-but-representative Eqn (10) instance.
+  const auto r1 = static_cast<std::size_t>(state.range(0));
+  const std::size_t ns = r1 * 2;
+  util::Rng rng(11);
+  linalg::Matrix g(r1, ns);
+  for (std::size_t i = 0; i < r1; ++i) {
+    for (std::size_t j = 0; j < ns; ++j) {
+      g(i, j) = rng.uniform() < 0.2 ? 1.0 : 0.0;
+    }
+    g(i, i % ns) = 1.0;
+  }
+  const linalg::Matrix sigma = random_matrix(ns, ns * 2, 12);
+  linalg::Vector mu(ns, 50.0);
+  core::GroupSparseOptions opt;
+  opt.max_iterations = 60;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::select_segments(g, sigma, mu, 200.0, opt));
+  }
+}
+BENCHMARK(BM_GroupSparseAdmm)->Arg(16)->Arg(48);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Table 2: hybrid path/segment selection vs approximate path selection at
+// eps = 8% under a enlarged target-path pools (the paper relaxes the synthesis constraint).
+//
+// Columns follow the paper: benchmark, |G|, |R|, |G_C|, |R_C|, |Ptar|, then
+// approximate path selection (|Pr|, e1, e2), then the hybrid approach
+// (|Pr|, |Sr|, |Pr|+|Sr|, e1, e2).  eps' is swept and the minimum
+// |Pr|+|Sr| kept, as in the paper.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/benchmarks.h"
+#include "core/hybrid_selection.h"
+#include "core/monte_carlo.h"
+#include "core/path_selection.h"
+#include "linalg/gemm.h"
+#include "util/stopwatch.h"
+#include "util/text.h"
+
+int main() {
+  using namespace repro;
+  const int scale = util::repro_scale_mode();
+  std::vector<std::string> benches = circuit::known_benchmarks();
+  if (scale == 0) benches = {"s1196", "s1423", "s1488"};
+
+  constexpr double kEps = 0.08;
+  // eps' sweep: the paper parallelizes this at design stage; serially we
+  // sweep 3 values at full scale and 2 in the default mode.
+  const std::vector<double> eps_prime_sweep =
+      (scale == 2) ? std::vector<double>{0.02, 0.04, 0.06}
+                   : std::vector<double>{0.05};
+
+  std::printf(
+      "=== Table 2: Hybrid Path/Segment Selection (eps = 8%%, enlarged pool) "
+      "===\n\n");
+
+  util::TextTable table({"BENCH", "|G|", "|R|", "|G_C|", "|R_C|", "|Ptar|",
+                         "P:|Pr|", "P:e1%", "P:e2%", "H:|Pr|", "H:|Sr|",
+                         "H:|Pr|+|Sr|", "H:e1%", "H:e2%", "sec"});
+  double s_pe1 = 0, s_pe2 = 0, s_he1 = 0, s_he2 = 0;
+  double s_ppr = 0, s_hpr = 0, s_hsr = 0;
+  int rows = 0;
+
+  for (const std::string& name : benches) {
+    util::Stopwatch sw;
+    core::ExperimentConfig cfg = core::default_experiment_config(name);
+    // The paper obtains its larger Table-2 pools by re-synthesizing under a
+    // relaxed timing constraint; our substitute is a larger extraction cap
+    // over the same netlist (see EXPERIMENTS.md).  The 2x pool runs at full
+    // scale; the default mode keeps the Table-1 pool to bound the ADMM cost.
+    if (scale == 2) {
+      cfg.max_target_paths *= 2;
+    } else {
+      // Bound the default-mode ADMM cost on the large circuits.
+      cfg.max_target_paths = std::min<std::size_t>(cfg.max_target_paths, 1200);
+    }
+    const core::Experiment e(cfg);
+    const auto& m = e.model();
+
+    // Approximate path selection at eps = 8%.
+    const linalg::Matrix gram = linalg::gram(m.a());
+    const core::SubsetSelector selector = core::make_subset_selector(m.a(), gram);
+    core::PathSelectionOptions popt;
+    popt.epsilon = kEps;
+    const core::PathSelectionResult psel =
+        core::select_representative_paths(selector, gram, e.t_cons_ps(),
+                                          popt);
+    const core::LinearPredictor ppred = core::make_path_predictor(
+        m.a(), m.mu_paths(), psel.representatives);
+    core::McOptions mc;
+    mc.samples = core::default_mc_samples() / (scale == 2 ? 1 : 2);
+    const core::McMetrics pmet = core::evaluate_predictor(m, ppred, mc);
+
+    // Hybrid selection with eps' sweep.
+    core::HybridOptions hopt;
+    hopt.epsilon = kEps;
+    // ADMM budget by scale mode: the refit step repairs feasibility, so
+    // fewer iterations only trade a slightly larger |Sr| for time.
+    hopt.group_sparse.max_iterations = (scale == 2) ? 120 : 25;
+    const core::HybridResult hyb = core::sweep_hybrid_selection(
+        m.a(), m.mu_paths(), m.g(), m.sigma(), m.mu_segments(),
+        e.t_cons_ps(), eps_prime_sweep, hopt);
+    const core::McMetrics hmet =
+        core::evaluate_predictor(m, hyb.predictor, mc);
+
+    table.add_row(
+        {name, std::to_string(e.total_gates()),
+         std::to_string(e.total_regions()), std::to_string(e.covered_gates()),
+         std::to_string(e.covered_regions()),
+         std::to_string(e.target_paths().size()),
+         std::to_string(psel.representatives.size()),
+         util::fmt_percent(pmet.e1, 2), util::fmt_percent(pmet.e2, 2),
+         std::to_string(hyb.rep_paths.size()),
+         std::to_string(hyb.rep_segments.size()),
+         std::to_string(hyb.rep_paths.size() + hyb.rep_segments.size()),
+         util::fmt_percent(hmet.e1, 2), util::fmt_percent(hmet.e2, 2),
+         util::fmt_double(sw.seconds(), 1)});
+    s_pe1 += pmet.e1;
+    s_pe2 += pmet.e2;
+    s_he1 += hmet.e1;
+    s_he2 += hmet.e2;
+    s_ppr += static_cast<double>(psel.representatives.size());
+    s_hpr += static_cast<double>(hyb.rep_paths.size());
+    s_hsr += static_cast<double>(hyb.rep_segments.size());
+    ++rows;
+    std::fflush(stdout);
+  }
+  if (rows > 0) {
+    const double n = rows;
+    table.add_row({"Ave", "", "", "", "", "", util::fmt_double(s_ppr / n, 1),
+                   util::fmt_percent(s_pe1 / n, 2),
+                   util::fmt_percent(s_pe2 / n, 2),
+                   util::fmt_double(s_hpr / n, 1),
+                   util::fmt_double(s_hsr / n, 1),
+                   util::fmt_double((s_hpr + s_hsr) / n, 1),
+                   util::fmt_percent(s_he1 / n, 2),
+                   util::fmt_percent(s_he2 / n, 2), ""});
+  }
+  std::printf("%s\nCSV\n%s", table.render().c_str(),
+              table.render_csv().c_str());
+  return 0;
+}

@@ -1,0 +1,184 @@
+#include "circuit/bench_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/text.h"
+
+namespace repro::circuit {
+namespace {
+
+struct ParsedLine {
+  enum class Kind { kInput, kOutput, kAssign } kind;
+  std::string target;             // signal being defined / declared
+  GateType type = GateType::kBuf; // for assignments
+  std::vector<std::string> args;  // fanin signal names
+};
+
+// Parses one nonempty, non-comment line.
+ParsedLine parse_line(const std::string& raw, int lineno) {
+  const std::string line = util::trim(raw);
+  auto fail = [&](const std::string& msg) -> ParsedLine {
+    throw std::runtime_error("bench line " + std::to_string(lineno) + ": " +
+                             msg + ": " + line);
+  };
+
+  const auto open = line.find('(');
+  const auto eq = line.find('=');
+  if (eq == std::string::npos) {
+    // INPUT(x) or OUTPUT(x)
+    const auto close = line.rfind(')');
+    if (open == std::string::npos || close == std::string::npos || close < open) {
+      return fail("malformed declaration");
+    }
+    const std::string head = util::to_lower(util::trim(line.substr(0, open)));
+    const std::string arg = util::trim(line.substr(open + 1, close - open - 1));
+    if (arg.empty()) return fail("empty signal name");
+    if (head == "input") return {ParsedLine::Kind::kInput, arg, {}, {}};
+    if (head == "output") return {ParsedLine::Kind::kOutput, arg, {}, {}};
+    return fail("unknown declaration");
+  }
+
+  // target = FUNC(a, b, ...)
+  const std::string target = util::trim(line.substr(0, eq));
+  const auto fopen = line.find('(', eq);
+  const auto fclose = line.rfind(')');
+  if (target.empty() || fopen == std::string::npos ||
+      fclose == std::string::npos || fclose < fopen) {
+    return fail("malformed assignment");
+  }
+  const std::string func = util::trim(line.substr(eq + 1, fopen - eq - 1));
+  ParsedLine out{ParsedLine::Kind::kAssign, target, GateType::kBuf, {}};
+  try {
+    out.type = gate_type_from_name(func);
+  } catch (const std::exception&) {
+    return fail("unknown gate function '" + func + "'");
+  }
+  for (const std::string& piece :
+       util::split(line.substr(fopen + 1, fclose - fopen - 1), ',')) {
+    const std::string arg = util::trim(piece);
+    if (arg.empty()) return fail("empty fanin name");
+    out.args.push_back(arg);
+  }
+  if (out.args.empty()) return fail("gate with no fanin");
+  if (out.type == GateType::kDff && out.args.size() != 1) {
+    return fail("DFF must have exactly one input");
+  }
+  if ((out.type == GateType::kNot || out.type == GateType::kBuf) &&
+      out.args.size() != 1) {
+    return fail("single-input gate with multiple fanins");
+  }
+  return out;
+}
+
+}  // namespace
+
+Netlist read_bench(std::istream& in, std::string name) {
+  std::vector<ParsedLine> lines;
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::string t = util::trim(raw);
+    if (t.empty() || t[0] == '#') continue;
+    lines.push_back(parse_line(t, lineno));
+  }
+
+  Netlist nl(std::move(name));
+  // Pass 1: create driver gates for every signal.
+  for (const ParsedLine& pl : lines) {
+    switch (pl.kind) {
+      case ParsedLine::Kind::kInput:
+        nl.add_gate(pl.target, GateType::kInput);
+        break;
+      case ParsedLine::Kind::kAssign:
+        if (pl.type == GateType::kDff) {
+          // Q pin: a launch point carrying the signal name.
+          nl.add_gate(pl.target, GateType::kInput);
+        } else {
+          nl.add_gate(pl.target, pl.type);
+        }
+        break;
+      case ParsedLine::Kind::kOutput:
+        break;  // handled in pass 2
+    }
+  }
+  // Pass 2: connect fanins; create capture gates for POs and DFF D-pins.
+  auto resolve = [&](const std::string& sig) -> GateId {
+    const auto id = nl.find(sig);
+    if (!id) throw std::runtime_error("bench: undefined signal '" + sig + "'");
+    return *id;
+  };
+  for (const ParsedLine& pl : lines) {
+    switch (pl.kind) {
+      case ParsedLine::Kind::kInput:
+        break;
+      case ParsedLine::Kind::kOutput: {
+        const GateId po = nl.add_gate(pl.target + "$po", GateType::kOutput);
+        nl.connect(resolve(pl.target), po);
+        break;
+      }
+      case ParsedLine::Kind::kAssign:
+        if (pl.type == GateType::kDff) {
+          const GateId d = nl.add_gate(pl.target + "$d", GateType::kOutput);
+          nl.connect(resolve(pl.args.front()), d);
+        } else {
+          const GateId sink = resolve(pl.target);
+          for (const std::string& arg : pl.args) {
+            nl.connect(resolve(arg), sink);
+          }
+        }
+        break;
+    }
+  }
+  return nl;
+}
+
+Netlist read_bench_string(const std::string& text, std::string name) {
+  std::istringstream in(text);
+  return read_bench(in, std::move(name));
+}
+
+Netlist read_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open bench file: " + path);
+  // Derive a short name from the path.
+  std::string name = path;
+  if (const auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (const auto dot = name.find_last_of('.'); dot != std::string::npos) {
+    name = name.substr(0, dot);
+  }
+  return read_bench(in, std::move(name));
+}
+
+void write_bench(std::ostream& out, const Netlist& nl) {
+  out << "# " << nl.name() << " (combinational timing view)\n";
+  for (GateId id : nl.inputs()) out << "INPUT(" << nl.gate(id).name << ")\n";
+  for (GateId id : nl.outputs()) {
+    // Capture gates are synthetic; declare the signal they observe.  The
+    // reader re-creates a capture gate per OUTPUT declaration, so the graph
+    // shape round-trips exactly (names of capture gates are canonicalized).
+    const Gate& g = nl.gate(id);
+    out << "OUTPUT(" << nl.gate(g.fanin.front()).name << ")\n";
+  }
+  for (const Gate& g : nl.gates()) {
+    if (g.type == GateType::kInput || g.type == GateType::kOutput) continue;
+    out << g.name << " = " << gate_type_name(g.type) << "(";
+    for (std::size_t i = 0; i < g.fanin.size(); ++i) {
+      out << (i ? ", " : "") << nl.gate(g.fanin[i]).name;
+    }
+    out << ")\n";
+  }
+}
+
+std::string write_bench_string(const Netlist& nl) {
+  std::ostringstream os;
+  write_bench(os, nl);
+  return os.str();
+}
+
+}  // namespace repro::circuit

@@ -1,0 +1,34 @@
+// ISCAS'89 `.bench` reader / writer.
+//
+// The reader accepts the classic format:
+//
+//   # comment
+//   INPUT(G0)
+//   OUTPUT(G17)
+//   G10 = NAND(G0, G1)
+//   G23 = DFF(G10)
+//
+// DFFs are split into launch/capture pins for combinational timing: the DFF
+// output signal becomes an Input gate (launch) with the original signal name,
+// and a capture Output gate named `<signal>$d` is attached to the D input.
+// Declared OUTPUT(x) signals get a capture gate named `<x>$po`.
+//
+// The writer emits this combinational view (INPUT/OUTPUT declarations plus
+// gate assignments), which round-trips through the reader.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace repro::circuit {
+
+Netlist read_bench(std::istream& in, std::string name = "bench");
+Netlist read_bench_string(const std::string& text, std::string name = "bench");
+Netlist read_bench_file(const std::string& path);
+
+void write_bench(std::ostream& out, const Netlist& nl);
+std::string write_bench_string(const Netlist& nl);
+
+}  // namespace repro::circuit

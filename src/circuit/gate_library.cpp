@@ -1,0 +1,108 @@
+#include "circuit/gate_library.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/text.h"
+
+namespace repro::circuit {
+
+std::string_view gate_type_name(GateType t) {
+  switch (t) {
+    case GateType::kInput: return "INPUT";
+    case GateType::kOutput: return "OUTPUT";
+    case GateType::kBuf: return "BUF";
+    case GateType::kNot: return "NOT";
+    case GateType::kAnd: return "AND";
+    case GateType::kNand: return "NAND";
+    case GateType::kOr: return "OR";
+    case GateType::kNor: return "NOR";
+    case GateType::kXor: return "XOR";
+    case GateType::kXnor: return "XNOR";
+    case GateType::kDff: return "DFF";
+  }
+  return "?";
+}
+
+GateType gate_type_from_name(std::string_view name) {
+  const std::string n = util::to_lower(name);
+  if (n == "input") return GateType::kInput;
+  if (n == "output") return GateType::kOutput;
+  if (n == "buf" || n == "buff") return GateType::kBuf;
+  if (n == "not" || n == "inv") return GateType::kNot;
+  if (n == "and") return GateType::kAnd;
+  if (n == "nand") return GateType::kNand;
+  if (n == "or") return GateType::kOr;
+  if (n == "nor") return GateType::kNor;
+  if (n == "xor") return GateType::kXor;
+  if (n == "xnor") return GateType::kXnor;
+  if (n == "dff") return GateType::kDff;
+  throw std::invalid_argument("unknown gate type: " + std::string(name));
+}
+
+bool is_combinational(GateType t) {
+  switch (t) {
+    case GateType::kBuf:
+    case GateType::kNot:
+    case GateType::kAnd:
+    case GateType::kNand:
+    case GateType::kOr:
+    case GateType::kNor:
+    case GateType::kXor:
+    case GateType::kXnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+GateLibrary::GateLibrary() {
+  // Nominal delays loosely follow a 90 nm general-purpose library (tens of
+  // picoseconds per stage).  Leff elasticity is near 1 (delay ~ L * V /
+  // (V - Vt)^alpha gives dD/D ~ dL/L); Vt elasticity is smaller and grows
+  // with stack height.  Exact values are not critical -- only the relative
+  // variance budget shapes the experiments.
+  auto set = [&](GateType t, CellTiming ct) {
+    timings_[static_cast<std::size_t>(t)] = ct;
+  };
+  set(GateType::kInput, {0.0, 0.0, 0.0, 0.0});
+  set(GateType::kOutput, {0.0, 0.0, 0.0, 0.0});
+  set(GateType::kBuf, {28.0, 6.0, 1.00, 0.42});
+  set(GateType::kNot, {18.0, 5.0, 1.00, 0.40});
+  set(GateType::kAnd, {42.0, 7.0, 1.05, 0.48});
+  set(GateType::kNand, {30.0, 7.0, 1.05, 0.50});
+  set(GateType::kOr, {46.0, 7.5, 1.08, 0.52});
+  set(GateType::kNor, {34.0, 7.5, 1.08, 0.55});
+  set(GateType::kXor, {58.0, 8.5, 1.12, 0.60});
+  set(GateType::kXnor, {60.0, 8.5, 1.12, 0.60});
+  set(GateType::kDff, {0.0, 0.0, 0.0, 0.0});
+}
+
+const CellTiming& GateLibrary::timing(GateType t) const {
+  return timings_[static_cast<std::size_t>(t)];
+}
+
+double GateLibrary::nominal_delay_ps(GateType t, std::size_t fanout) const {
+  const CellTiming& ct = timing(t);
+  if (ct.intrinsic_ps == 0.0) return 0.0;
+  // At least one equivalent load even for dangling gates.
+  const double fo = static_cast<double>(fanout == 0 ? 1 : fanout);
+  return ct.intrinsic_ps + ct.per_fanout_ps * fo;
+}
+
+GateLibrary::DelaySigmas GateLibrary::delay_sigmas_ps(GateType t,
+                                                      double nominal_ps) const {
+  const CellTiming& ct = timing(t);
+  DelaySigmas s{};
+  // Fractional one-sigma delay change from each physical parameter.
+  s.leff = nominal_ps * ct.leff_elasticity * budget_.leff_sigma_rel;
+  s.vt = nominal_ps * ct.vt_elasticity * budget_.vt_sigma_rel;
+  // Random term: variance is a fixed fraction f of the gate's total variance:
+  //   r^2 = f * (l^2 + v^2 + r^2)  =>  r^2 = f/(1-f) * (l^2 + v^2).
+  const double f = budget_.random_variance_fraction;
+  const double base = s.leff * s.leff + s.vt * s.vt;
+  s.random = (f > 0.0 && f < 1.0) ? std::sqrt(f / (1.0 - f) * base) : 0.0;
+  return s;
+}
+
+}  // namespace repro::circuit

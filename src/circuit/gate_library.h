@@ -1,0 +1,87 @@
+// Synthetic standard-cell library.
+//
+// The paper synthesizes ISCAS'89 with a TSMC 90 nm library; we cannot ship
+// that library, so this module provides a small 90nm-inspired cell set with
+// nominal delays and first-order delay sensitivities to effective channel
+// length (Leff) and zero-bias threshold voltage (Vt).  The selection
+// algorithms only consume the resulting linear delay model, so any library
+// with realistic relative magnitudes preserves the experiments' shape
+// (see DESIGN.md, substitution #1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace repro::circuit {
+
+enum class GateType : std::uint8_t {
+  kInput,   // primary input or flip-flop output (launch point)
+  kOutput,  // primary output or flip-flop input (capture point)
+  kBuf,
+  kNot,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+  kDff,  // only appears during .bench parsing; split into kInput/kOutput
+};
+
+std::string_view gate_type_name(GateType t);
+// Parses a .bench function name (case-insensitive). Throws on unknown names.
+GateType gate_type_from_name(std::string_view name);
+
+bool is_combinational(GateType t);
+
+// Electrical characterization of one cell type.
+struct CellTiming {
+  double intrinsic_ps;     // unloaded nominal delay
+  double per_fanout_ps;    // incremental delay per driven fanout
+  double leff_elasticity;  // (dD/D) / (dL/L): delay sensitivity to Leff
+  double vt_elasticity;    // (dD/D) / (dVt/Vt)
+};
+
+// Library-wide variation budget (paper Section 6 configuration).
+struct VariationBudget {
+  double leff_sigma_rel = 0.10;  // sigma(Leff)/mean(Leff) = 10%
+  double vt_sigma_rel = 0.10;    // sigma(Vt)/mean(Vt) = 10%
+  // Per-gate independent random term carries this fraction of the *total*
+  // delay variance of the gate ("each gate has a random variation term,
+  // which is 6% of the total variations").
+  double random_variance_fraction = 0.06;
+};
+
+class GateLibrary {
+ public:
+  GateLibrary();  // builds the default 90nm-like library
+
+  const CellTiming& timing(GateType t) const;
+
+  // Nominal delay of a gate of type t driving `fanout` sinks, in ps.
+  double nominal_delay_ps(GateType t, std::size_t fanout) const;
+
+  // One-sigma delay deviation (in ps) caused by each normalized N(0,1)
+  // variation source, for a gate with the given nominal delay:
+  //   leff: total Leff-induced delay sigma (to be split across the spatial
+  //         hierarchy levels),
+  //   vt:   total Vt-induced delay sigma,
+  //   random: per-gate independent sigma sized so that its variance is
+  //         `random_variance_fraction` of the gate's total delay variance.
+  struct DelaySigmas {
+    double leff;
+    double vt;
+    double random;
+  };
+  DelaySigmas delay_sigmas_ps(GateType t, double nominal_ps) const;
+
+  const VariationBudget& budget() const { return budget_; }
+  void set_budget(const VariationBudget& b) { budget_ = b; }
+
+ private:
+  CellTiming timings_[16];
+  VariationBudget budget_;
+};
+
+}  // namespace repro::circuit

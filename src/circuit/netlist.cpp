@@ -1,0 +1,131 @@
+#include "circuit/netlist.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace repro::circuit {
+
+Netlist::Netlist(std::string name) : name_(std::move(name)) {}
+
+GateId Netlist::add_gate(std::string name, GateType type) {
+  if (type == GateType::kDff) {
+    throw std::invalid_argument(
+        "Netlist::add_gate: DFFs must be split into Input/Output pins");
+  }
+  if (by_name_.contains(name)) {
+    throw std::invalid_argument("duplicate gate name: " + name);
+  }
+  const GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.name = name;
+  g.type = type;
+  gates_.push_back(std::move(g));
+  by_name_.emplace(std::move(name), id);
+  if (type == GateType::kInput) inputs_.push_back(id);
+  if (type == GateType::kOutput) outputs_.push_back(id);
+  return id;
+}
+
+void Netlist::connect(GateId driver, GateId sink) {
+  if (driver < 0 || sink < 0 || static_cast<std::size_t>(driver) >= gates_.size() ||
+      static_cast<std::size_t>(sink) >= gates_.size()) {
+    throw std::out_of_range("connect: bad gate id");
+  }
+  gates_[static_cast<std::size_t>(driver)].fanout.push_back(sink);
+  gates_[static_cast<std::size_t>(sink)].fanin.push_back(driver);
+}
+
+std::optional<GateId> Netlist::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t Netlist::combinational_count() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_) {
+    if (is_combinational(g.type)) ++n;
+  }
+  return n;
+}
+
+std::vector<GateId> Netlist::topological_order() const {
+  std::vector<int> indeg(gates_.size(), 0);
+  for (const Gate& g : gates_) {
+    for (GateId s : g.fanout) ++indeg[static_cast<std::size_t>(s)];
+  }
+  std::vector<GateId> order;
+  order.reserve(gates_.size());
+  std::vector<GateId> ready;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    if (indeg[i] == 0) ready.push_back(static_cast<GateId>(i));
+  }
+  while (!ready.empty()) {
+    const GateId id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    for (GateId s : gates_[static_cast<std::size_t>(id)].fanout) {
+      if (--indeg[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+    }
+  }
+  if (order.size() != gates_.size()) {
+    throw std::runtime_error("topological_order: netlist has a cycle");
+  }
+  return order;
+}
+
+std::vector<std::string> Netlist::validate() const {
+  std::vector<std::string> problems;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    if (g.type == GateType::kInput && !g.fanin.empty()) {
+      problems.push_back("input " + g.name + " has fanin");
+    }
+    if (g.type == GateType::kOutput && g.fanin.size() != 1) {
+      problems.push_back("output " + g.name + " needs exactly one fanin");
+    }
+    if (is_combinational(g.type) && g.fanin.empty()) {
+      problems.push_back("gate " + g.name + " has no fanin");
+    }
+    if ((g.type == GateType::kNot || g.type == GateType::kBuf) &&
+        g.fanin.size() > 1) {
+      problems.push_back("gate " + g.name + " is single-input but has " +
+                         std::to_string(g.fanin.size()) + " fanins");
+    }
+    // Consistency of fanin/fanout cross references.
+    for (GateId d : g.fanin) {
+      const auto& fo = gates_[static_cast<std::size_t>(d)].fanout;
+      if (std::count(fo.begin(), fo.end(), static_cast<GateId>(i)) !=
+          std::count(g.fanin.begin(), g.fanin.end(), d)) {
+        problems.push_back("inconsistent edge " +
+                           gates_[static_cast<std::size_t>(d)].name + " -> " +
+                           g.name);
+      }
+    }
+  }
+  try {
+    (void)topological_order();
+  } catch (const std::exception& e) {
+    problems.emplace_back(e.what());
+  }
+  return problems;
+}
+
+std::size_t Netlist::depth() const {
+  const std::vector<GateId> order = topological_order();
+  std::vector<std::size_t> level(gates_.size(), 0);
+  std::size_t maxd = 0;
+  for (GateId id : order) {
+    const Gate& g = gates_[static_cast<std::size_t>(id)];
+    std::size_t lvl = 0;
+    for (GateId d : g.fanin) {
+      lvl = std::max(lvl, level[static_cast<std::size_t>(d)]);
+    }
+    if (is_combinational(g.type)) lvl += 1;
+    level[static_cast<std::size_t>(id)] = lvl;
+    maxd = std::max(maxd, lvl);
+  }
+  return maxd;
+}
+
+}  // namespace repro::circuit

@@ -1,0 +1,77 @@
+// Gate-level netlist: a DAG of gates between launch points (primary inputs /
+// flip-flop outputs) and capture points (primary outputs / flip-flop inputs).
+//
+// Sequential elements from .bench files are split at construction time into
+// an Input (the DFF's Q pin, a launch point) and an Output (the DFF's D pin,
+// a capture point), which is the standard combinational-timing view: every
+// register-to-register path becomes a launch-to-capture path in this DAG.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/gate_library.h"
+
+namespace repro::circuit {
+
+using GateId = int;
+inline constexpr GateId kInvalidGate = -1;
+
+struct Gate {
+  std::string name;
+  GateType type = GateType::kBuf;
+  std::vector<GateId> fanin;
+  std::vector<GateId> fanout;
+  // Placement in the unit die (filled by circuit::place); used by the
+  // hierarchical spatial-correlation model.
+  double x = 0.5;
+  double y = 0.5;
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "netlist");
+
+  const std::string& name() const { return name_; }
+
+  // Adds a gate; `name` must be unique.  Returns its id.
+  GateId add_gate(std::string name, GateType type);
+  // Adds the edge driver -> sink (appends to fanout/fanin lists).
+  void connect(GateId driver, GateId sink);
+
+  std::size_t size() const { return gates_.size(); }
+  const Gate& gate(GateId id) const { return gates_[static_cast<std::size_t>(id)]; }
+  Gate& gate(GateId id) { return gates_[static_cast<std::size_t>(id)]; }
+  const std::vector<Gate>& gates() const { return gates_; }
+
+  std::optional<GateId> find(const std::string& name) const;
+
+  const std::vector<GateId>& inputs() const { return inputs_; }
+  const std::vector<GateId>& outputs() const { return outputs_; }
+
+  // Number of gates that are neither launch nor capture points.
+  std::size_t combinational_count() const;
+
+  // Topological order over all gates.  Throws std::runtime_error on cycles.
+  std::vector<GateId> topological_order() const;
+
+  // Structural checks: acyclic, every combinational gate has >= 1 fanin,
+  // outputs have exactly one fanin, inputs have none.  Returns a list of
+  // human-readable problems (empty = valid).
+  std::vector<std::string> validate() const;
+
+  // Logic depth (max #combinational gates on any input->output path).
+  std::size_t depth() const;
+
+ private:
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> outputs_;
+  std::unordered_map<std::string, GateId> by_name_;
+};
+
+}  // namespace repro::circuit

@@ -1,0 +1,26 @@
+// Barycentric placement of a netlist into the unit die.
+//
+// The hierarchical spatial-correlation model assigns gates to quad-tree
+// regions by (x, y) position, so connected gates must land near each other
+// for within-die correlation to be physically meaningful.  We use the
+// classic layered heuristic: x = normalized topological level, y = position
+// within the level refined by a few barycenter-ordering sweeps (gates move
+// toward the average y of their neighbors), plus deterministic jitter.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/netlist.h"
+
+namespace repro::circuit {
+
+struct PlacementOptions {
+  int barycenter_sweeps = 4;
+  double jitter = 0.015;  // uniform jitter radius, keeps regions non-degenerate
+  std::uint64_t seed = 7;
+};
+
+// Fills Gate::x / Gate::y for every gate, in [0, 1).
+void place(Netlist& nl, const PlacementOptions& options = {});
+
+}  // namespace repro::circuit

@@ -1,0 +1,69 @@
+#include "core/baseline_rcp.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace repro::core {
+
+RcpResult select_representative_critical_path(
+    const variation::VariationModel& model,
+    const variation::SpatialModel& spatial, const timing::SstaResult& ssta) {
+  const std::size_t n = model.num_paths();
+  if (n == 0) {
+    throw std::invalid_argument("select_representative_critical_path: empty");
+  }
+  const std::size_t num_regions = spatial.num_regions();
+  const linalg::Vector& c = ssta.circuit_delay.coeffs;  // global basis
+  if (c.size() < 2 * num_regions) {
+    throw std::invalid_argument(
+        "select_representative_critical_path: ssta basis mismatch");
+  }
+  const double chip_var = ssta.circuit_delay.variance();
+  const double chip_sigma = std::sqrt(chip_var);
+
+  RcpResult out;
+  out.chip_mean = ssta.circuit_delay.mean;
+  out.chip_sigma = chip_sigma;
+  out.all_correlations.assign(n, 0.0);
+
+  const std::size_t rc = model.covered_regions();
+  double best_cov = 0.0;
+  for (std::size_t p = 0; p < n; ++p) {
+    // Covariance of path p with the circuit delay: the path's sensitivity
+    // row lives in the covered-parameter basis; map each slot to its global
+    // SSTA index ([Leff regions | Vt regions | per-gate random]).
+    const auto row = model.a().row(p);
+    double cov = 0.0;
+    double var_p = 0.0;
+    for (std::size_t k = 0; k < rc; ++k) {
+      const std::size_t region = model.region_slots()[k];
+      cov += row[k] * c[region];
+      cov += row[rc + k] * c[num_regions + region];
+      var_p += row[k] * row[k] + row[rc + k] * row[rc + k];
+    }
+    for (std::size_t k = 0; k < model.covered_gates(); ++k) {
+      const auto gate = static_cast<std::size_t>(model.gate_slots()[k]);
+      cov += row[2 * rc + k] * c[2 * num_regions + gate];
+      var_p += row[2 * rc + k] * row[2 * rc + k];
+    }
+    const double sigma_p = std::sqrt(var_p);
+    const double corr =
+        (sigma_p > 0.0 && chip_sigma > 0.0) ? cov / (sigma_p * chip_sigma)
+                                            : 0.0;
+    out.all_correlations[p] = corr;
+    if (out.path_index < 0 || corr > out.correlation) {
+      out.path_index = static_cast<int>(p);
+      out.correlation = corr;
+      best_cov = cov;
+    }
+  }
+
+  // MMSE line chip ~ slope * d_path + intercept for the chosen path.
+  const auto pi = static_cast<std::size_t>(out.path_index);
+  const double var_best = model.path_sigma(pi) * model.path_sigma(pi);
+  out.slope = var_best > 0.0 ? best_cov / var_best : 0.0;
+  out.intercept = out.chip_mean - out.slope * model.path_mu(pi);
+  return out;
+}
+
+}  // namespace repro::core

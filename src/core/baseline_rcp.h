@@ -1,0 +1,41 @@
+// Baseline: the representative critical path (RCP) of Liu & Sapatnekar
+// (ISPD 2009), the comparison approach the paper discusses in Section 1.
+//
+// RCP picks ONE path whose delay correlates maximally with the circuit
+// delay; measuring it post-silicon predicts the *chip frequency* via a
+// linear regressor.  The paper's critique — "this approach cannot localize
+// the timing failure" — is exactly what the framework's per-path selection
+// fixes; this module implements the baseline so the comparison can be run
+// (bench_baseline_rcp).
+//
+// Implementation: the circuit-delay distribution comes from the SSTA
+// canonical form (Clark max over all capture points); each target path's
+// canonical form is its sensitivity row mapped into the same global
+// parameter basis, so correlations are analytic.  The predictor is the MMSE
+// line  chip ~ slope * d_path + intercept.
+#pragma once
+
+#include "timing/ssta.h"
+#include "variation/variation_model.h"
+
+namespace repro::core {
+
+struct RcpResult {
+  int path_index = -1;      // target path chosen as the RCP
+  double correlation = 0.0; // model correlation with the circuit delay
+  double slope = 0.0;       // chip-delay predictor: slope * d_path + intercept
+  double intercept = 0.0;
+  double chip_mean = 0.0;   // SSTA circuit-delay moments (ps)
+  double chip_sigma = 0.0;
+  // Correlation of every target path with the circuit delay (diagnostics).
+  linalg::Vector all_correlations;
+};
+
+// Selects the RCP among the model's target paths against the SSTA
+// circuit-delay form.  `ssta` must come from run_ssta on the same graph /
+// spatial model / random scale as `model`.
+RcpResult select_representative_critical_path(
+    const variation::VariationModel& model,
+    const variation::SpatialModel& spatial, const timing::SstaResult& ssta);
+
+}  // namespace repro::core

@@ -1,0 +1,321 @@
+#include "core/benchmarks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "circuit/placement.h"
+#include "timing/sizing.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/text.h"
+
+namespace repro::core {
+namespace {
+
+// Per-gate delay sigmas resolved against the global (all-regions) parameter
+// indexing used for yield estimation and candidate filtering:
+//   [ Leff regions | Vt regions | one random slot per gate ].
+struct GlobalParams {
+  std::size_t num_regions;
+  std::vector<std::vector<std::size_t>> gate_regions;  // per gate, per level
+  std::size_t param_count(std::size_t num_gates) const {
+    return 2 * num_regions + num_gates;
+  }
+};
+
+GlobalParams global_params(const timing::TimingGraph& graph,
+                           const variation::SpatialModel& spatial) {
+  const circuit::Netlist& nl = graph.netlist();
+  GlobalParams gp;
+  gp.num_regions = spatial.num_regions();
+  gp.gate_regions.resize(nl.size());
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    const circuit::Gate& g = nl.gate(static_cast<circuit::GateId>(i));
+    if (!circuit::is_combinational(g.type)) continue;
+    gp.gate_regions[i] = spatial.covering_regions(g.x, g.y);
+  }
+  return gp;
+}
+
+// Statistical moments of one candidate path under the full correlated model
+// (scratch accumulates the path's sensitivity row sparsely).
+struct PathStats {
+  double mu;
+  double sigma;
+};
+
+class PathStatAccumulator {
+ public:
+  PathStatAccumulator(const timing::TimingGraph& graph,
+                      const variation::SpatialModel& spatial,
+                      const GlobalParams& gp, double random_scale)
+      : graph_(&graph), spatial_(&spatial), gp_(&gp),
+        random_scale_(random_scale),
+        scratch_(gp.param_count(graph.netlist().size()), 0.0) {}
+
+  PathStats stats(const timing::Path& p) {
+    double mu = 0.0;
+    for (std::size_t idx : touched_) scratch_[idx] = 0.0;
+    touched_.clear();
+    const circuit::Netlist& nl = graph_->netlist();
+    for (circuit::GateId id : p.gates) {
+      const circuit::Gate& g = nl.gate(id);
+      if (!circuit::is_combinational(g.type)) continue;
+      mu += graph_->gate_delay_ps(id);
+      const auto& sig = graph_->gate_sigmas(id);
+      const auto& regions = gp_->gate_regions[static_cast<std::size_t>(id)];
+      for (int l = 0; l < spatial_->levels(); ++l) {
+        const double w = spatial_->level_weight(l);
+        add(regions[static_cast<std::size_t>(l)], sig.leff * w);
+        add(gp_->num_regions + regions[static_cast<std::size_t>(l)],
+            sig.vt * w);
+      }
+      add(2 * gp_->num_regions + static_cast<std::size_t>(id),
+          sig.random * random_scale_);
+    }
+    double var = 0.0;
+    for (std::size_t idx : touched_) var += scratch_[idx] * scratch_[idx];
+    return {mu, std::sqrt(var)};
+  }
+
+ private:
+  void add(std::size_t idx, double v) {
+    if (scratch_[idx] == 0.0) touched_.push_back(idx);
+    scratch_[idx] += v;
+  }
+  const timing::TimingGraph* graph_;
+  const variation::SpatialModel* spatial_;
+  const GlobalParams* gp_;
+  double random_scale_;
+  std::vector<double> scratch_;
+  std::vector<std::size_t> touched_;
+};
+
+}  // namespace
+
+double estimate_circuit_yield(const timing::TimingGraph& graph,
+                              const variation::SpatialModel& spatial,
+                              double t_cons, std::size_t samples,
+                              std::uint64_t seed, double random_scale) {
+  const circuit::Netlist& nl = graph.netlist();
+  const GlobalParams gp = global_params(graph, spatial);
+  util::Rng rng(seed);
+
+  std::vector<double> leff(gp.num_regions), vt(gp.num_regions);
+  std::vector<double> delay(nl.size()), arrival(nl.size());
+  std::size_t pass = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (double& v : leff) v = rng.normal();
+    for (double& v : vt) v = rng.normal();
+    for (std::size_t i = 0; i < nl.size(); ++i) {
+      const auto id = static_cast<circuit::GateId>(i);
+      const circuit::Gate& g = nl.gate(id);
+      if (!circuit::is_combinational(g.type)) {
+        delay[i] = 0.0;
+        continue;
+      }
+      const auto& sig = graph.gate_sigmas(id);
+      double dl = 0.0, dv = 0.0;
+      for (int l = 0; l < spatial.levels(); ++l) {
+        const double w = spatial.level_weight(l);
+        dl += w * leff[gp.gate_regions[i][static_cast<std::size_t>(l)]];
+        dv += w * vt[gp.gate_regions[i][static_cast<std::size_t>(l)]];
+      }
+      delay[i] = graph.gate_delay_ps(id) + sig.leff * dl + sig.vt * dv +
+                 sig.random * random_scale * rng.normal();
+    }
+    double worst = 0.0;
+    for (circuit::GateId id : graph.topological_order()) {
+      const circuit::Gate& g = nl.gate(id);
+      double arr = 0.0;
+      for (circuit::GateId d : g.fanin) {
+        arr = std::max(arr, arrival[static_cast<std::size_t>(d)]);
+      }
+      arrival[static_cast<std::size_t>(id)] =
+          arr + delay[static_cast<std::size_t>(id)];
+      if (g.type == circuit::GateType::kOutput) {
+        worst = std::max(worst, arrival[static_cast<std::size_t>(id)]);
+      }
+    }
+    if (worst <= t_cons) ++pass;
+  }
+  return static_cast<double>(pass) / static_cast<double>(samples);
+}
+
+Experiment::Experiment(const ExperimentConfig& config)
+    : config_(config),
+      netlist_(circuit::generate_benchmark(config.benchmark)) {
+  const std::uint64_t seed =
+      config_.seed != 0 ? config_.seed
+                        : util::Rng::seed_from(config_.benchmark, 42);
+  circuit::PlacementOptions popt;
+  popt.seed = seed ^ 0x9e37;
+  circuit::place(netlist_, popt);
+
+  graph_ = std::make_unique<timing::TimingGraph>(netlist_, library_);
+  if (config_.emulate_synthesis) {
+    timing::emulate_area_recovery(*graph_);
+  }
+  const timing::StaResult sta = timing::run_sta(*graph_);
+  nominal_delay_ = sta.circuit_delay;
+  t_cons_ = nominal_delay_ * config_.tcons_factor;
+
+  int levels = config_.hierarchy_levels;
+  if (levels <= 0) {
+    // Paper: 3-level model (21 regions) for smaller benchmarks, 5-level
+    // (341 regions) for larger ones; threshold at ~2000 gates.
+    levels = (netlist_.combinational_count() < 2000) ? 3 : 5;
+  }
+  spatial_ = std::make_unique<variation::SpatialModel>(levels);
+
+  yield_ = estimate_circuit_yield(*graph_, *spatial_, t_cons_,
+                                  config_.yield_mc_samples, seed ^ 0xA0,
+                                  config_.random_scale);
+
+  // Candidate enumeration: per-gate coverage paths first (the worst path
+  // through every gate, so the statistical filter sees every circuit
+  // region), then endpoint-balanced k-worst enumeration for volume.
+  timing::PathEnumOptions popts;
+  popts.max_paths = config_.max_candidates;
+  popts.sigma_weight = config_.enum_sigma_weight;
+  std::vector<timing::Path> candidates =
+      timing::worst_path_through_each_gate(*graph_, popts);
+  const std::size_t coverage_count = candidates.size();
+  {
+    std::vector<timing::Path> extra =
+        timing::enumerate_worst_paths_per_endpoint(*graph_, popts);
+    std::unordered_set<std::size_t> seen;
+    auto path_hash = [](const timing::Path& p) {
+      std::size_t h = 1469598103934665603ull;
+      for (circuit::GateId g : p.gates) {
+        h ^= static_cast<std::size_t>(g) + 0x9e3779b9 + (h << 6) + (h >> 2);
+      }
+      return h;
+    };
+    for (const timing::Path& p : candidates) seen.insert(path_hash(p));
+    for (timing::Path& p : extra) {
+      if (candidates.size() >= config_.max_candidates + coverage_count) break;
+      if (seen.insert(path_hash(p)).second) candidates.push_back(std::move(p));
+    }
+  }
+  candidates_ = candidates.size();
+
+  const GlobalParams gp = global_params(*graph_, *spatial_);
+  PathStatAccumulator acc(*graph_, *spatial_, gp, config_.random_scale);
+  const double threshold = config_.yield_loss_factor * (1.0 - yield_);
+  struct Scored {
+    std::size_t index;
+    double fail_prob;
+  };
+  std::vector<Scored> scored;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const PathStats st = acc.stats(candidates[i]);
+    if (st.sigma <= 0.0) continue;
+    const double q = 1.0 - util::normal_cdf((t_cons_ - st.mu) / st.sigma);
+    if (q > threshold) scored.push_back({i, q});
+  }
+  std::stable_sort(scored.begin(), scored.end(), [](const Scored& a,
+                                                    const Scored& b) {
+    return a.fail_prob > b.fail_prob;
+  });
+  if (scored.size() > config_.max_target_paths) {
+    // The paper keeps *every* path above the yield-loss threshold; under a
+    // budget we must truncate, and truncating purely by fail probability
+    // would collapse the pool into the single worst cone.  Keep the
+    // qualifying coverage paths (breadth), then fill round-robin across
+    // capture points, most-critical first within each endpoint.
+    std::vector<Scored> kept;
+    kept.reserve(config_.max_target_paths);
+    const std::size_t coverage_budget = static_cast<std::size_t>(
+        config_.max_coverage_fraction *
+        static_cast<double>(config_.max_target_paths));
+    std::vector<Scored> rest;
+    for (const Scored& s : scored) {
+      if (s.index < coverage_count && kept.size() < coverage_budget) {
+        kept.push_back(s);
+      } else {
+        rest.push_back(s);
+      }
+    }
+    scored = std::move(rest);
+    std::unordered_map<circuit::GateId, std::vector<std::size_t>> by_endpoint;
+    std::vector<circuit::GateId> endpoint_order;
+    for (std::size_t k = 0; k < scored.size(); ++k) {
+      const circuit::GateId cap = candidates[scored[k].index].gates.back();
+      auto [it, fresh] = by_endpoint.try_emplace(cap);
+      if (fresh) endpoint_order.push_back(cap);
+      it->second.push_back(k);
+    }
+    for (std::size_t round = 0; kept.size() < config_.max_target_paths;
+         ++round) {
+      bool any = false;
+      for (circuit::GateId cap : endpoint_order) {
+        const auto& list = by_endpoint[cap];
+        if (round >= list.size()) continue;
+        kept.push_back(scored[list[round]]);
+        any = true;
+        if (kept.size() >= config_.max_target_paths) break;
+      }
+      if (!any) break;
+    }
+    std::stable_sort(kept.begin(), kept.end(), [](const Scored& a,
+                                                  const Scored& b) {
+      return a.fail_prob > b.fail_prob;
+    });
+    scored = std::move(kept);
+  }
+  targets_.reserve(scored.size());
+  for (const Scored& s : scored) targets_.push_back(std::move(candidates[s.index]));
+  if (targets_.empty()) {
+    throw std::runtime_error("Experiment: no target paths extracted for " +
+                             config_.benchmark);
+  }
+
+  segments_ = timing::extract_segments(netlist_, targets_);
+  variation::VariationOptions vopt;
+  vopt.random_scale = config_.random_scale;
+  model_ = std::make_unique<variation::VariationModel>(*graph_, *spatial_,
+                                                       targets_, segments_,
+                                                       vopt);
+}
+
+std::size_t Experiment::total_gates() const {
+  return netlist_.combinational_count();
+}
+
+ExperimentConfig default_experiment_config(const std::string& benchmark) {
+  ExperimentConfig cfg;
+  cfg.benchmark = benchmark;
+  switch (util::repro_scale_mode()) {
+    case 0:  // REPRO_FAST
+      cfg.max_target_paths = 500;
+      cfg.max_candidates = 5000;
+      cfg.yield_mc_samples = 500;
+      break;
+    case 2:  // REPRO_FULL
+      cfg.max_target_paths = 4000;
+      cfg.max_candidates = 40000;
+      cfg.yield_mc_samples = 4000;
+      break;
+    default:
+      cfg.max_target_paths = 2000;
+      cfg.max_candidates = 20000;
+      cfg.yield_mc_samples = 2000;
+      break;
+  }
+  return cfg;
+}
+
+std::size_t default_mc_samples() {
+  switch (util::repro_scale_mode()) {
+    case 0: return 2000;
+    case 2: return 10000;
+    default: return 10000;
+  }
+}
+
+}  // namespace repro::core

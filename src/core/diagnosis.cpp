@@ -1,0 +1,118 @@
+#include "core/diagnosis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "linalg/cholesky.h"
+#include "linalg/gemm.h"
+
+namespace repro::core {
+
+DiagnosisResult diagnose(const variation::VariationModel& model,
+                         const timing::TimingGraph& graph,
+                         const variation::SpatialModel& spatial,
+                         const std::vector<int>& measured_paths,
+                         const std::vector<int>& measured_segments,
+                         std::span<const double> values,
+                         const DiagnosisOptions& options) {
+  const std::size_t n_meas = measured_paths.size() + measured_segments.size();
+  if (values.size() != n_meas) {
+    throw std::invalid_argument("diagnose: measurement count mismatch");
+  }
+  if (n_meas == 0) throw std::invalid_argument("diagnose: no measurements");
+  const std::size_t m = model.num_params();
+
+  // Measurement matrix and centered observations.
+  linalg::Matrix meas(n_meas, m);
+  linalg::Vector centered(n_meas);
+  {
+    std::size_t row = 0;
+    for (int i : measured_paths) {
+      meas.set_row(row, model.a().row(static_cast<std::size_t>(i)));
+      centered[row] = values[row] - model.mu_paths()[static_cast<std::size_t>(i)];
+      ++row;
+    }
+    for (int s : measured_segments) {
+      meas.set_row(row, model.sigma().row(static_cast<std::size_t>(s)));
+      centered[row] =
+          values[row] - model.mu_segments()[static_cast<std::size_t>(s)];
+      ++row;
+    }
+  }
+
+  // Posterior mean: x_hat = M^T (M M^T + ridge)? z.
+  linalg::Matrix s = linalg::gram(meas);
+  if (options.ridge > 0.0) {
+    const double scale = std::max(s.max_abs(), 1.0);
+    for (std::size_t i = 0; i < s.rows(); ++i) {
+      s(i, i) += options.ridge * scale;
+    }
+  }
+  const linalg::RegularizedChol rc = linalg::chol_factor_regularized(s);
+  const linalg::Vector z = linalg::chol_solve(rc.factors, centered);
+
+  DiagnosisResult out;
+  out.x_hat = linalg::matvec_transposed(meas, z);
+
+  // Residual in measurement space.
+  const linalg::Vector reproj = linalg::matvec(meas, out.x_hat);
+  double resid2 = 0.0;
+  for (std::size_t i = 0; i < n_meas; ++i) {
+    resid2 += (reproj[i] - centered[i]) * (reproj[i] - centered[i]);
+  }
+  out.measurement_residual_ps = std::sqrt(resid2);
+
+  // Region variation map.
+  const std::size_t rc_count = model.covered_regions();
+  out.regions.resize(rc_count);
+  for (std::size_t k = 0; k < rc_count; ++k) {
+    out.regions[k].region = model.region_slots()[k];
+    out.regions[k].leff_sigma = out.x_hat[k];
+    out.regions[k].vt_sigma = out.x_hat[rc_count + k];
+  }
+
+  // Gate suspects: estimated delay shift of every covered gate under x_hat.
+  std::unordered_map<std::size_t, std::size_t> region_to_slot;
+  for (std::size_t k = 0; k < rc_count; ++k) {
+    region_to_slot.emplace(model.region_slots()[k], k);
+  }
+  const circuit::Netlist& nl = graph.netlist();
+  std::vector<GateSuspect> suspects;
+  suspects.reserve(model.covered_gates());
+  for (std::size_t k = 0; k < model.covered_gates(); ++k) {
+    const circuit::GateId id = model.gate_slots()[k];
+    const circuit::Gate& g = nl.gate(id);
+    const auto& sig = graph.gate_sigmas(id);
+    double shift = sig.random * out.x_hat[2 * rc_count + k];
+    for (int l = 0; l < spatial.levels(); ++l) {
+      const std::size_t region = spatial.region_index(l, g.x, g.y);
+      const auto it = region_to_slot.find(region);
+      if (it == region_to_slot.end()) continue;
+      const double w = spatial.level_weight(l);
+      shift += sig.leff * w * out.x_hat[it->second];
+      shift += sig.vt * w * out.x_hat[rc_count + it->second];
+    }
+    suspects.push_back({id, shift});
+  }
+  std::stable_sort(suspects.begin(), suspects.end(),
+                   [](const GateSuspect& a, const GateSuspect& b) {
+                     return std::abs(a.delay_shift_ps) >
+                            std::abs(b.delay_shift_ps);
+                   });
+  if (suspects.size() > options.top_gates) {
+    suspects.resize(options.top_gates);
+  }
+  out.suspects = std::move(suspects);
+
+  // Implied path delays (equals the Theorem-2 prediction because both are
+  // the conditional mean under the same Gaussian model).
+  out.predicted_path_delays = linalg::matvec(model.a(), out.x_hat);
+  for (std::size_t i = 0; i < out.predicted_path_delays.size(); ++i) {
+    out.predicted_path_delays[i] += model.mu_paths()[i];
+  }
+  return out;
+}
+
+}  // namespace repro::core

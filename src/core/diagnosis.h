@@ -1,0 +1,61 @@
+// Post-silicon variation diagnosis (the paper's Section 7 future work,
+// realized): invert the measured representative delays back into the
+// process-parameter space.
+//
+// With x ~ N(0, I) a priori and noiseless measurements y = mu_y + M x, the
+// posterior mean (= MAP, = minimum-norm) estimate is
+//
+//   x_hat = M^T (M M^T + ridge I)^+ (y - mu_y),
+//
+// the network-kriging inverse the selection framework is built on.  From
+// x_hat we reconstruct a per-region variation map (estimated Leff / Vt
+// shifts in sigmas for every covered quad-tree region) and rank individual
+// gates by their estimated delay shift — turning the prediction framework
+// into a localization tool for silicon debug.
+#pragma once
+
+#include <vector>
+
+#include "core/predictor.h"
+#include "variation/variation_model.h"
+
+namespace repro::core {
+
+struct DiagnosisOptions {
+  double ridge = 1e-8;        // relative Tikhonov factor on M M^T
+  std::size_t top_gates = 20; // how many gate suspects to report
+};
+
+struct GateSuspect {
+  circuit::GateId gate = circuit::kInvalidGate;
+  double delay_shift_ps = 0.0;  // estimated deviation from nominal
+};
+
+struct RegionShift {
+  std::size_t region = 0;  // global spatial-model region id
+  double leff_sigma = 0.0; // estimated shift of the region variable, in sigmas
+  double vt_sigma = 0.0;
+};
+
+struct DiagnosisResult {
+  linalg::Vector x_hat;                 // posterior-mean parameter estimate
+  std::vector<RegionShift> regions;     // per covered region
+  std::vector<GateSuspect> suspects;    // top |delay shift| gates, descending
+  double measurement_residual_ps = 0.0; // ||M x_hat - (y - mu_y)||
+  // Path-delay predictions implied by x_hat (all target paths); identical to
+  // the Theorem-2 predictor output by construction.
+  linalg::Vector predicted_path_delays;
+};
+
+// `measured_paths` / `measured_segments` index into the model's target paths
+// and segments; `values` stacks the measured delays in the same order
+// (paths first), exactly like LinearPredictor::predict.
+DiagnosisResult diagnose(const variation::VariationModel& model,
+                         const timing::TimingGraph& graph,
+                         const variation::SpatialModel& spatial,
+                         const std::vector<int>& measured_paths,
+                         const std::vector<int>& measured_segments,
+                         std::span<const double> values,
+                         const DiagnosisOptions& options = {});
+
+}  // namespace repro::core

@@ -1,0 +1,41 @@
+#include "core/effective_rank.h"
+
+#include <stdexcept>
+
+namespace repro::core {
+
+std::size_t effective_rank(const linalg::Vector& singular_values, double eta) {
+  if (eta < 0.0 || eta >= 1.0) {
+    throw std::invalid_argument("effective_rank: eta must be in [0, 1)");
+  }
+  double energy = 0.0;
+  for (double s : singular_values) {
+    if (s < 0.0) throw std::invalid_argument("effective_rank: negative value");
+    energy += s;
+  }
+  if (energy == 0.0) return 0;
+  const double target = (1.0 - eta) * energy;
+  double acc = 0.0;
+  std::size_t k = 0;
+  for (double s : singular_values) {
+    if (acc >= target) break;
+    if (s == 0.0) break;  // remaining values are zero; target unreachable gap
+    acc += s;
+    ++k;
+  }
+  return k;
+}
+
+linalg::Vector normalized_singular_values(
+    const linalg::Vector& singular_values) {
+  double energy = 0.0;
+  for (double s : singular_values) energy += s;
+  linalg::Vector out(singular_values.size(), 0.0);
+  if (energy == 0.0) return out;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = singular_values[i] / energy;
+  }
+  return out;
+}
+
+}  // namespace repro::core

@@ -1,0 +1,72 @@
+#include "core/error_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/cholesky.h"
+#include "linalg/gemm.h"
+
+namespace repro::core {
+
+SelectionErrors selection_errors_from_gram(const linalg::Matrix& gram,
+                                           const std::vector<int>& rep,
+                                           double t_cons, double kappa) {
+  if (t_cons <= 0.0) throw std::invalid_argument("selection_errors: t_cons");
+  const std::size_t n = gram.rows();
+  SelectionErrors out;
+  std::vector<char> is_rep(n, 0);
+  for (int i : rep) {
+    if (i < 0 || static_cast<std::size_t>(i) >= n) {
+      throw std::out_of_range("selection_errors: rep index");
+    }
+    is_rep[static_cast<std::size_t>(i)] = 1;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_rep[i]) out.remaining.push_back(static_cast<int>(i));
+  }
+
+  // S = W[rep, rep]; factor once.
+  const std::size_t r = rep.size();
+  linalg::Matrix s(r, r);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < r; ++j) {
+      s(i, j) = gram(static_cast<std::size_t>(rep[i]),
+                     static_cast<std::size_t>(rep[j]));
+    }
+  }
+  const linalg::RegularizedChol rc = linalg::chol_factor_regularized(s);
+
+  out.sigma.resize(out.remaining.size());
+  out.per_path_eps.resize(out.remaining.size());
+  linalg::Vector w(r);
+  for (std::size_t k = 0; k < out.remaining.size(); ++k) {
+    const auto i = static_cast<std::size_t>(out.remaining[k]);
+    for (std::size_t j = 0; j < r; ++j) {
+      w[j] = gram(i, static_cast<std::size_t>(rep[j]));
+    }
+    // Var = W_ii - w^T S^+ w via one forward solve: ||L^{-1} w||^2.
+    const linalg::Vector y = linalg::chol_forward(rc.factors, w);
+    double var = gram(i, i);
+    for (double v : y) var -= v * v;
+    var = std::max(var, 0.0);
+    out.sigma[k] = std::sqrt(var);
+    const double wc = kappa * out.sigma[k];
+    out.per_path_eps[k] = wc / t_cons;
+    out.max_wc = std::max(out.max_wc, wc);
+  }
+  out.eps_r = out.max_wc / t_cons;
+  return out;
+}
+
+SelectionErrors selection_errors(const linalg::Matrix& a,
+                                 const std::vector<int>& rep, double t_cons,
+                                 double kappa) {
+  return selection_errors_from_gram(linalg::gram(a), rep, t_cons, kappa);
+}
+
+double worst_case_gaussian(double mean, double sigma, double kappa) {
+  return std::abs(mean) + kappa * sigma;
+}
+
+}  // namespace repro::core

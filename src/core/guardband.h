@@ -1,0 +1,43 @@
+// Guard-band analysis (paper Section 6.3).
+//
+// After prediction, a path i is declared failing when its predicted delay,
+// inflated by its guard-band, exceeds Tcons:
+//
+//   flag_i  <=>  d_pred(i) / (1 - eps_i) > Tcons,
+//
+// with eps_i the per-path worst-case relative error (analytic, from the
+// error model).  Because eps_i bounds the true relative error with
+// worst-case confidence, a flagged-clean path is clean "with full
+// confidence"; the analysis quantifies that on Monte-Carlo silicon: missed
+// failures (should be ~0) and false alarms (the price of the guard-band).
+#pragma once
+
+#include "core/monte_carlo.h"
+#include "core/predictor.h"
+#include "variation/variation_model.h"
+
+namespace repro::core {
+
+struct GuardbandReport {
+  double epsilon = 0.0;         // configured tolerance (upper bound on eps_i)
+  double avg_guardband = 0.0;   // average analytic eps_i over remaining paths
+  double max_guardband = 0.0;   // max analytic eps_i
+  // Failure-detection confusion counts over (samples x remaining paths):
+  std::size_t true_fails = 0;    // true delay > Tcons
+  std::size_t flagged = 0;       // guard-banded prediction > Tcons
+  std::size_t missed = 0;        // true fail not flagged
+  std::size_t false_alarms = 0;  // flagged but not a true fail
+  std::size_t observations = 0;  // samples * remaining paths
+  McMetrics mc;                  // e1/e2 of the underlying predictor
+};
+
+// `per_path_eps` must align with predictor.remaining (analytic worst-case
+// relative errors, e.g. SelectionErrors::per_path_eps or
+// kappa * predictor.error_sigmas() / t_cons).
+GuardbandReport guardband_analysis(const variation::VariationModel& model,
+                                   const LinearPredictor& predictor,
+                                   const linalg::Vector& per_path_eps,
+                                   double t_cons, double epsilon,
+                                   const McOptions& options = {});
+
+}  // namespace repro::core

@@ -1,0 +1,64 @@
+// Algorithm 3: hybrid path/segment selection.
+//
+//   1. Select P_r1: exact representative paths (r1 = rank(A), zero error).
+//   2. Select segments S_r1 modeling d_Pr1 within eps' < eps (Eqn (10) ADMM).
+//   3. Predict all target paths from d_S_r1 (optimal linear predictor);
+//      detect P_r2 = paths whose worst-case prediction error exceeds
+//      eps * Tcons.
+//   4. Final measurement set = P_r2 (paths) + S_r1 (segments); redundant
+//      measurements are pruned by exact (rank-preserving) subset selection
+//      on the stacked measurement matrix, and the joint optimal predictor is
+//      verified to keep every remaining path within eps.
+//
+// eps' is swept (the paper parallelizes this at design stage and keeps the
+// eps' minimizing |P_r| + |S_r|); run_hybrid_selection evaluates one eps',
+// and sweep_hybrid_selection returns the best over a list.
+#pragma once
+
+#include <vector>
+
+#include "core/group_sparse.h"
+#include "core/predictor.h"
+#include "linalg/matrix.h"
+
+namespace repro::core {
+
+struct HybridOptions {
+  double epsilon = 0.08;  // overall tolerance (fraction of Tcons)
+  double kappa = 3.0;
+  GroupSparseOptions group_sparse;
+  // Prune measurement rows that add no numerical rank (Step 4).
+  bool prune_redundant = true;
+};
+
+struct HybridResult {
+  std::vector<int> rep_paths;     // P_r (indices into the target-path set)
+  std::vector<int> rep_segments;  // S_r (segment ids)
+  LinearPredictor predictor;      // joint predictor for the remaining paths
+  double eps_prime = 0.0;         // segment-stage tolerance used
+  double eps_achieved = 0.0;      // analytic worst-case error fraction
+  std::size_t exact_rank = 0;     // |P_r1| = rank(A)
+  std::size_t detected_paths = 0; // |P_r2| before pruning
+  int admm_iterations = 0;
+};
+
+HybridResult run_hybrid_selection(const linalg::Matrix& a,
+                                  const linalg::Vector& mu_paths,
+                                  const linalg::Matrix& g,
+                                  const linalg::Matrix& sigma,
+                                  const linalg::Vector& mu_segments,
+                                  double t_cons, double eps_prime,
+                                  const HybridOptions& options = {});
+
+// Evaluates each eps' and returns the result minimizing
+// |rep_paths| + |rep_segments| (ties: smaller achieved error).
+HybridResult sweep_hybrid_selection(const linalg::Matrix& a,
+                                    const linalg::Vector& mu_paths,
+                                    const linalg::Matrix& g,
+                                    const linalg::Matrix& sigma,
+                                    const linalg::Vector& mu_segments,
+                                    double t_cons,
+                                    const std::vector<double>& eps_primes,
+                                    const HybridOptions& options = {});
+
+}  // namespace repro::core

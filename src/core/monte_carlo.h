@@ -1,0 +1,37 @@
+// Monte-Carlo evaluation of a predictor (paper Section 6 protocol).
+//
+// N samples of x ~ N(0, I) are pushed through the exact linear model to get
+// "silicon" delays; the predictor sees only the measured components and
+// predicts the rest.  Metrics follow the paper exactly:
+//   eps_i     = max_k |pred_i^k - true_i^k| / true_i^k   (per remaining path)
+//   eps-hat_i = mean_k of the same ratio
+//   e1 = mean_i eps_i,   e2 = mean_i eps-hat_i.
+#pragma once
+
+#include <cstdint>
+
+#include "core/predictor.h"
+#include "variation/variation_model.h"
+
+namespace repro::core {
+
+struct McOptions {
+  std::size_t samples = 10000;
+  std::size_t chunk = 256;   // samples per GEMM batch
+  std::uint64_t seed = 0x5eed;
+};
+
+struct McMetrics {
+  double e1 = 0.0;  // average over remaining paths of the max relative error
+  double e2 = 0.0;  // average over remaining paths of the mean relative error
+  double worst_eps = 0.0;             // max_i eps_i
+  linalg::Vector eps_max;             // per remaining path
+  linalg::Vector eps_mean;            // per remaining path
+  std::size_t samples = 0;
+};
+
+McMetrics evaluate_predictor(const variation::VariationModel& model,
+                             const LinearPredictor& predictor,
+                             const McOptions& options = {});
+
+}  // namespace repro::core

@@ -1,0 +1,101 @@
+#include "core/path_selection.h"
+
+#include <stdexcept>
+
+#include "linalg/gemm.h"
+
+namespace repro::core {
+namespace {
+
+struct Candidate {
+  std::vector<int> rep;
+  SelectionErrors errors;
+};
+
+Candidate evaluate(const SubsetSelector& selector, const linalg::Matrix& gram,
+                   double t_cons, double kappa, std::size_t r) {
+  Candidate c;
+  c.rep = selector.select(r);
+  c.errors = selection_errors_from_gram(gram, c.rep, t_cons, kappa);
+  return c;
+}
+
+}  // namespace
+
+PathSelectionResult select_representative_paths(
+    const SubsetSelector& selector, const linalg::Matrix& gram, double t_cons,
+    const PathSelectionOptions& options) {
+  const std::size_t rank = selector.rank();
+  if (rank == 0) {
+    throw std::invalid_argument("select_representative_paths: rank(A) == 0");
+  }
+  PathSelectionResult out;
+  out.exact_rank = rank;
+  const std::size_t min_r = std::max<std::size_t>(options.min_r, 1);
+
+  Candidate best;
+  bool have_best = false;
+  if (options.strategy == SelectionStrategy::kLinearDecrement) {
+    // Paper Algorithm 1: start from the exact selection (r = rank(A),
+    // eps_r = 0 by Theorem 1) and decrement while the error stays within
+    // epsilon.
+    best = evaluate(selector, gram, t_cons, options.kappa, rank);
+    have_best = true;
+    out.candidates_evaluated = 1;
+    std::size_t r = rank;
+    while (r > min_r) {
+      Candidate next = evaluate(selector, gram, t_cons, options.kappa, r - 1);
+      ++out.candidates_evaluated;
+      if (next.errors.eps_r > options.epsilon) break;
+      best = std::move(next);
+      --r;
+    }
+  } else {
+    // Bisection on the smallest feasible r in [min_r, rank].  r = rank is
+    // feasible by Theorem 1 without evaluation, so the search only ever
+    // factors subspaces of the sizes it visits (which keeps the lazy
+    // eigenpair capture small).
+    std::size_t lo = min_r;  // maybe infeasible
+    std::size_t hi = rank;   // known feasible (eps_r = 0)
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      Candidate c = evaluate(selector, gram, t_cons, options.kappa, mid);
+      ++out.candidates_evaluated;
+      if (c.errors.eps_r <= options.epsilon) {
+        best = std::move(c);
+        have_best = true;
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+  }
+  if (!have_best) {
+    // Nothing below rank met the tolerance: fall back to exact selection.
+    best = evaluate(selector, gram, t_cons, options.kappa, rank);
+    ++out.candidates_evaluated;
+  }
+
+  out.representatives = std::move(best.rep);
+  out.errors = std::move(best.errors);
+  out.eps_r = out.errors.eps_r;
+  return out;
+}
+
+PathSelectionResult select_representative_paths(
+    const linalg::Matrix& a, double t_cons, const PathSelectionOptions& options,
+    const linalg::Matrix* gram) {
+  linalg::Matrix w_local;
+  if (gram == nullptr) {
+    w_local = linalg::gram(a);
+    gram = &w_local;
+  }
+  // Wide matrices (many process parameters): derive U and the singular
+  // values from the Gram matrix we need anyway — O(n^3) instead of the
+  // O(m n^2) bidiagonalization.
+  const SubsetSelector selector =
+      (a.cols() >= a.rows()) ? SubsetSelector(a, *gram) : SubsetSelector(a);
+  return select_representative_paths(selector, *gram, t_cons, options);
+}
+
+}  // namespace repro::core

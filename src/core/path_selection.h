@@ -1,0 +1,53 @@
+// Algorithm 1: representative path selection under an error tolerance.
+//
+//   1. r = rank(A); select r paths exactly (eps_r = 0).
+//   2. While eps_r <= eps: r -= 1; select r paths (Algorithm 2); recompute
+//      eps_r.  The answer is the smallest r whose error stays within eps.
+//
+// Two drivers are provided: the paper-verbatim linear decrement, and a
+// bisection driver exploiting that eps_r is (numerically) non-increasing in
+// r, which evaluates O(log rank) candidates instead of O(rank) — the default
+// for large instances.  Both share one SVD and one Gram matrix.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/error_model.h"
+#include "core/subset_select.h"
+#include "linalg/matrix.h"
+
+namespace repro::core {
+
+enum class SelectionStrategy {
+  kLinearDecrement,  // paper Algorithm 1, verbatim
+  kBisection,        // same result up to error-monotonicity noise, much faster
+};
+
+struct PathSelectionOptions {
+  double epsilon = 0.05;  // tolerance, fraction of Tcons
+  double kappa = 3.0;     // worst-case multiplier: WC(y) = kappa * std(y)
+  SelectionStrategy strategy = SelectionStrategy::kBisection;
+  std::size_t min_r = 1;
+};
+
+struct PathSelectionResult {
+  std::vector<int> representatives;  // row indices into A (pivot order)
+  std::size_t exact_rank = 0;        // rank(A) = exact-selection size
+  double eps_r = 0.0;                // achieved worst-case error fraction
+  SelectionErrors errors;            // per-remaining-path analytic errors
+  std::size_t candidates_evaluated = 0;
+};
+
+// Selects representative paths from A (rows = target paths).  `gram` may be
+// passed in when precomputed (A A^T); pass nullptr to compute internally.
+PathSelectionResult select_representative_paths(
+    const linalg::Matrix& a, double t_cons, const PathSelectionOptions& options,
+    const linalg::Matrix* gram = nullptr);
+
+// Same, reusing an existing SubsetSelector (shared SVD).
+PathSelectionResult select_representative_paths(
+    const SubsetSelector& selector, const linalg::Matrix& gram, double t_cons,
+    const PathSelectionOptions& options);
+
+}  // namespace repro::core

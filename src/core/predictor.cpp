@@ -1,0 +1,116 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "linalg/gemm.h"
+#include "linalg/solve.h"
+
+namespace repro::core {
+namespace {
+
+// Shared core: given the measurement matrix m_y (n_meas x m) and the
+// remaining-path sensitivities a_rem, build coef = A_rem M_y^T (M_y M_y^T)^+
+// and omega = coef * M_y - A_rem.
+void build(LinearPredictor& p, const linalg::Matrix& a_rem,
+           const linalg::Matrix& m_y) {
+  // Gram of the measurements (n_meas x n_meas) and cross block.
+  const linalg::Matrix s = linalg::gram(m_y);
+  const linalg::Matrix cross = linalg::multiply_bt(a_rem, m_y);
+  // coef^T = S^+ cross^T  ->  solve S Z = cross^T.
+  // S can be singular when measurements are redundant; pseudo-inverse via
+  // regularized Cholesky matches the paper's () ^+ notation.
+  const linalg::Matrix z = linalg::spd_solve(s, cross.transposed());
+  p.coef = z.transposed();
+  p.omega = linalg::multiply(p.coef, m_y);
+  p.omega -= a_rem;
+}
+
+}  // namespace
+
+linalg::Vector LinearPredictor::predict(std::span<const double> measured) const {
+  if (measured.size() != mu_meas.size()) {
+    throw std::invalid_argument("LinearPredictor::predict: size mismatch");
+  }
+  linalg::Vector centered(measured.begin(), measured.end());
+  for (std::size_t i = 0; i < centered.size(); ++i) centered[i] -= mu_meas[i];
+  linalg::Vector out = linalg::matvec(coef, centered);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] += mu_rem[i];
+  return out;
+}
+
+linalg::Vector LinearPredictor::error_sigmas() const {
+  linalg::Vector s(omega.rows());
+  for (std::size_t i = 0; i < omega.rows(); ++i) {
+    s[i] = linalg::norm2(omega.row(i));
+  }
+  return s;
+}
+
+LinearPredictor make_path_predictor(const linalg::Matrix& a,
+                                    const linalg::Vector& mu,
+                                    const std::vector<int>& rep) {
+  if (mu.size() != a.rows()) {
+    throw std::invalid_argument("make_path_predictor: mu size");
+  }
+  LinearPredictor p;
+  p.measured_paths = rep;
+  std::vector<char> is_rep(a.rows(), 0);
+  for (int i : rep) is_rep[static_cast<std::size_t>(i)] = 1;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    if (!is_rep[i]) p.remaining.push_back(static_cast<int>(i));
+  }
+  const linalg::Matrix a_r = a.select_rows(rep);
+  const linalg::Matrix a_m = a.select_rows(p.remaining);
+  p.mu_meas.resize(rep.size());
+  for (std::size_t k = 0; k < rep.size(); ++k) {
+    p.mu_meas[k] = mu[static_cast<std::size_t>(rep[k])];
+  }
+  p.mu_rem.resize(p.remaining.size());
+  for (std::size_t k = 0; k < p.remaining.size(); ++k) {
+    p.mu_rem[k] = mu[static_cast<std::size_t>(p.remaining[k])];
+  }
+  build(p, a_m, a_r);
+  return p;
+}
+
+LinearPredictor make_joint_predictor(const linalg::Matrix& a,
+                                     const linalg::Vector& mu_paths,
+                                     const linalg::Matrix& sigma,
+                                     const linalg::Vector& mu_segments,
+                                     const std::vector<int>& rep_paths,
+                                     const std::vector<int>& rep_segments,
+                                     const std::vector<int>& remaining) {
+  if (a.cols() != sigma.cols()) {
+    throw std::invalid_argument("make_joint_predictor: parameter mismatch");
+  }
+  LinearPredictor p;
+  p.measured_paths = rep_paths;
+  p.measured_segments = rep_segments;
+  p.remaining = remaining;
+
+  const std::size_t n_meas = rep_paths.size() + rep_segments.size();
+  linalg::Matrix m_y(n_meas, a.cols());
+  p.mu_meas.resize(n_meas);
+  std::size_t row = 0;
+  for (int i : rep_paths) {
+    m_y.set_row(row, a.row(static_cast<std::size_t>(i)));
+    p.mu_meas[row] = mu_paths[static_cast<std::size_t>(i)];
+    ++row;
+  }
+  for (int s : rep_segments) {
+    m_y.set_row(row, sigma.row(static_cast<std::size_t>(s)));
+    p.mu_meas[row] = mu_segments[static_cast<std::size_t>(s)];
+    ++row;
+  }
+
+  const linalg::Matrix a_m = a.select_rows(remaining);
+  p.mu_rem.resize(remaining.size());
+  for (std::size_t k = 0; k < remaining.size(); ++k) {
+    p.mu_rem[k] = mu_paths[static_cast<std::size_t>(remaining[k])];
+  }
+  build(p, a_m, m_y);
+  return p;
+}
+
+}  // namespace repro::core

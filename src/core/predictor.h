@@ -1,0 +1,55 @@
+// Theorem 2: the optimal (minimum-MSE) linear predictor of unmeasured path
+// delays from measured path / segment delays.
+//
+// With all delays jointly Gaussian under d = mu + M x, x ~ N(0, I), the
+// conditional mean of the unmeasured block given measurements y is
+//
+//   d_m = mu_m + A_m M_y^T (M_y M_y^T)^+ (y - mu_y),
+//
+// which for path-only measurements is exactly the paper's Eqn (5).  The same
+// construction with M_y stacking rows of A (measured paths) and rows of
+// Sigma (measured segments) powers the hybrid Algorithm 3.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace repro::core {
+
+struct LinearPredictor {
+  // Prediction: d_rem = mu_rem + coef * (y - mu_meas).
+  linalg::Matrix coef;        // n_rem x n_meas
+  linalg::Vector mu_meas;
+  linalg::Vector mu_rem;
+  std::vector<int> remaining;      // target-path indices being predicted
+  std::vector<int> measured_paths;     // target-path indices measured
+  std::vector<int> measured_segments;  // segment ids measured (may be empty)
+
+  // The error-shape matrix Omega = coef * M_y - A_rem (paper Eqn (6)):
+  // prediction error Delta = -Omega... stored as rows so that
+  // Delta_i = omega_i . x; per-path error sigma = ||omega row i||.
+  linalg::Matrix omega;
+
+  linalg::Vector predict(std::span<const double> measured) const;
+  // Per-remaining-path one-sigma prediction error (ps).
+  linalg::Vector error_sigmas() const;
+};
+
+// Paper Eqn (5): measure the rows `rep` of A; predict all remaining rows.
+LinearPredictor make_path_predictor(const linalg::Matrix& a,
+                                    const linalg::Vector& mu,
+                                    const std::vector<int>& rep);
+
+// Hybrid measurement set: rows `rep_paths` of A plus rows `rep_segments` of
+// Sigma.  Predicts the target paths in `remaining` (pass all non-measured
+// path indices).
+LinearPredictor make_joint_predictor(const linalg::Matrix& a,
+                                     const linalg::Vector& mu_paths,
+                                     const linalg::Matrix& sigma,
+                                     const linalg::Vector& mu_segments,
+                                     const std::vector<int>& rep_paths,
+                                     const std::vector<int>& rep_segments,
+                                     const std::vector<int>& remaining);
+
+}  // namespace repro::core

@@ -1,0 +1,139 @@
+#include "core/subset_select.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "linalg/cholesky.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/qr_colpivot.h"
+#include "linalg/randomized_eig.h"
+
+namespace repro::core {
+namespace {
+
+// Rank threshold on Gram eigenvalues: noise below dim * eps * lambda_max
+// turns into spurious singular values of order sqrt(dim * eps) * sigma_max,
+// so the singular-value threshold must sit above that level.
+double gram_rank_rel_tol(std::size_t rows, std::size_t cols) {
+  const double dim = static_cast<double>(std::max(rows, cols));
+  return std::sqrt(dim * std::numeric_limits<double>::epsilon()) * 4.0;
+}
+
+}  // namespace
+
+SubsetSelector::SubsetSelector(const linalg::Matrix& a)
+    : svd_(linalg::svd(a)), rows_(a.rows()), cols_(a.cols()) {
+  if (!svd_.converged) {
+    throw std::runtime_error("SubsetSelector: SVD did not converge");
+  }
+  rank_ = linalg::svd_rank(svd_, a.rows(), a.cols());
+}
+
+SubsetSelector::SubsetSelector(linalg::SvdResult svd, std::size_t rows,
+                               std::size_t cols)
+    : svd_(std::move(svd)), rows_(rows), cols_(cols) {
+  if (!svd_.converged) {
+    throw std::runtime_error("SubsetSelector: SVD did not converge");
+  }
+  rank_ = linalg::svd_rank(svd_, rows, cols);
+}
+
+SubsetSelector::SubsetSelector(const linalg::Matrix& a,
+                               const linalg::Matrix& gram)
+    : rows_(a.rows()), cols_(a.cols()) {
+  if (gram.rows() != a.rows() || gram.cols() != a.rows()) {
+    throw std::invalid_argument("SubsetSelector: gram shape mismatch");
+  }
+  const std::size_t n = a.rows();
+  svd_.converged = true;
+  gram_ = gram;
+  have_gram_ = true;
+  if (n > 512) {
+    // Lazy route: rank from pivoted Cholesky (O(n rank^2)); eigenpairs are
+    // captured on demand by ensure_captured().
+    const double tol = gram_rank_rel_tol(rows_, cols_);
+    const linalg::PivotedChol pc =
+        linalg::pivoted_cholesky(gram_, tol * tol);  // eigenvalue-scale tol
+    rank_ = pc.rank;
+    greedy_order_ = pc.perm;
+    lazy_ = true;
+    return;
+  }
+  const linalg::EigenSymResult eig = linalg::eigen_sym(gram);
+  if (!eig.converged) {
+    throw std::runtime_error("SubsetSelector: eigendecomposition failed");
+  }
+  svd_.s.resize(n);
+  svd_.u = linalg::Matrix(n, n);
+  // Eigenvalues come ascending; singular values must be non-increasing.
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t src = n - 1 - k;
+    svd_.s[k] = std::sqrt(std::max(eig.values[src], 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+      svd_.u(i, k) = eig.vectors(i, src);
+    }
+  }
+  rank_ = linalg::svd_rank(svd_, a.rows(), a.cols(),
+                           gram_rank_rel_tol(rows_, cols_));
+}
+
+void SubsetSelector::ensure_captured(std::size_t k) const {
+  if (!lazy_ || svd_.s.size() >= k) return;
+  linalg::RandomizedEigOptions opt;
+  opt.initial_rank = std::min(rows_, std::max(k, 2 * svd_.s.size()));
+  opt.adaptive = false;  // capture exactly what was asked (plus oversample)
+  linalg::RandomizedEigResult eig = linalg::randomized_eig_psd(gram_, opt);
+  svd_.s.resize(eig.values.size());
+  for (std::size_t i = 0; i < eig.values.size(); ++i) {
+    svd_.s[i] = std::sqrt(eig.values[i]);
+  }
+  svd_.u = std::move(eig.vectors);
+}
+
+const linalg::Vector& SubsetSelector::singular_values() const {
+  // The spectrum beyond rank() is numerically zero, so capturing `rank_`
+  // values yields the complete energy profile.
+  ensure_captured(rank_);
+  return svd_.s;
+}
+
+SubsetSelector make_subset_selector(const linalg::Matrix& a,
+                                    const linalg::Matrix& gram) {
+  return (a.cols() >= a.rows()) ? SubsetSelector(a, gram) : SubsetSelector(a);
+}
+
+std::vector<int> SubsetSelector::select(std::size_t r) const {
+  if (r == 0 || r > rank_ || r > rows_) {
+    throw std::invalid_argument("SubsetSelector::select: bad r");
+  }
+  ensure_captured(r);
+  // U_r^T is r x n; column pivoting needs only the first r pivot steps.
+  linalg::Matrix urt(r, rows_);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < rows_; ++j) urt(i, j) = svd_.u(j, i);
+  }
+  const linalg::QrcpResult f = linalg::qr_colpivot(std::move(urt), r);
+  std::vector<int> rows(f.perm.begin(),
+                        f.perm.begin() + static_cast<std::ptrdiff_t>(r));
+  return rows;
+}
+
+std::vector<int> SubsetSelector::select_greedy(std::size_t r) const {
+  if (!have_gram_) {
+    throw std::logic_error(
+        "SubsetSelector::select_greedy needs the Gram-route constructor");
+  }
+  if (r == 0 || r > rank_ || r > rows_) {
+    throw std::invalid_argument("SubsetSelector::select_greedy: bad r");
+  }
+  if (greedy_order_.empty()) {
+    const double tol = gram_rank_rel_tol(rows_, cols_);
+    greedy_order_ = linalg::pivoted_cholesky(gram_, tol * tol).perm;
+  }
+  return {greedy_order_.begin(),
+          greedy_order_.begin() + static_cast<std::ptrdiff_t>(r)};
+}
+
+}  // namespace repro::core

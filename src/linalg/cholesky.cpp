@@ -1,0 +1,152 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace repro::linalg {
+
+CholFactors chol_factor(Matrix s) {
+  if (s.rows() != s.cols()) throw std::invalid_argument("chol: not square");
+  const std::size_t n = s.rows();
+  CholFactors f;
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = s(j, j);
+    const double* lj = &s(j, 0);
+    for (std::size_t k = 0; k < j; ++k) d -= lj[k] * lj[k];
+    if (!(d > 0.0) || !std::isfinite(d)) {
+      f.ok = false;
+      return f;
+    }
+    const double ljj = std::sqrt(d);
+    s(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = s(i, j);
+      const double* li = &s(i, 0);
+      for (std::size_t k = 0; k < j; ++k) v -= li[k] * lj[k];
+      s(i, j) = v / ljj;
+    }
+  }
+  // Zero the strict upper triangle so the factor is clean for callers.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) s(i, j) = 0.0;
+  }
+  f.l = std::move(s);
+  f.ok = true;
+  return f;
+}
+
+RegularizedChol chol_factor_regularized(const Matrix& s, double initial_jitter) {
+  RegularizedChol out;
+  double scale = s.max_abs();
+  if (scale == 0.0) scale = 1.0;
+  double jitter = initial_jitter;
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    Matrix sj = s;
+    if (jitter > 0.0) {
+      for (std::size_t i = 0; i < sj.rows(); ++i) sj(i, i) += jitter;
+    }
+    out.factors = chol_factor(std::move(sj));
+    if (out.factors.ok) {
+      out.jitter = jitter;
+      return out;
+    }
+    jitter = (jitter == 0.0) ? scale * 1e-14 : jitter * 10.0;
+    if (jitter > scale) break;
+  }
+  throw std::runtime_error("chol_factor_regularized: matrix far from PSD");
+}
+
+Vector chol_forward(const CholFactors& f, Vector b) {
+  const std::size_t n = f.l.rows();
+  if (b.size() != n) throw std::invalid_argument("chol_forward size");
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    const double* li = f.l.row(i).data();
+    for (std::size_t j = 0; j < i; ++j) s -= li[j] * b[j];
+    b[i] = s / li[i];
+  }
+  return b;
+}
+
+Vector chol_backward(const CholFactors& f, Vector b) {
+  const std::size_t n = f.l.rows();
+  if (b.size() != n) throw std::invalid_argument("chol_backward size");
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= f.l(j, ii) * b[j];
+    b[ii] = s / f.l(ii, ii);
+  }
+  return b;
+}
+
+PivotedChol pivoted_cholesky(const Matrix& s, double rel_tol) {
+  if (s.rows() != s.cols()) {
+    throw std::invalid_argument("pivoted_cholesky: not square");
+  }
+  const std::size_t n = s.rows();
+  PivotedChol out;
+  out.perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.perm[i] = static_cast<int>(i);
+
+  // Running diagonal of the Schur complement and the factor rows built so
+  // far (in pivot order).  Column k of L is formed against the original
+  // matrix, updating only the diagonal eagerly (outer-product-free variant:
+  // l(i,k) = (S(pi,pk) - sum_j l(i,j) l(k,j)) / l(k,k)).
+  Vector diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = s(i, i);
+  double max_diag0 = 0.0;
+  for (double d : diag) max_diag0 = std::max(max_diag0, d);
+  const double tol =
+      (rel_tol >= 0.0 ? rel_tol
+                      : static_cast<double>(n) *
+                            std::numeric_limits<double>::epsilon() * 16.0) *
+      (max_diag0 > 0.0 ? max_diag0 : 1.0);
+
+  Matrix l(n, n);  // trimmed to rank columns at the end
+  std::size_t k = 0;
+  for (; k < n; ++k) {
+    // Pivot: largest remaining Schur diagonal.
+    std::size_t piv = k;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (diag[i] > diag[piv]) piv = i;
+    }
+    if (diag[piv] <= tol) break;
+    if (piv != k) {
+      std::swap(out.perm[piv], out.perm[k]);
+      std::swap(diag[piv], diag[k]);
+      l.swap_rows(piv, k);
+    }
+    const double lkk = std::sqrt(diag[k]);
+    l(k, k) = lkk;
+    const auto pk = static_cast<std::size_t>(out.perm[k]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const auto pi = static_cast<std::size_t>(out.perm[i]);
+      double v = s(pi, pk);
+      const double* li = l.row(i).data();
+      const double* lk = l.row(k).data();
+      for (std::size_t j = 0; j < k; ++j) v -= li[j] * lk[j];
+      const double lik = v / lkk;
+      l(i, k) = lik;
+      diag[i] -= lik * lik;
+    }
+  }
+  out.rank = k;
+  out.l = l.left_cols(k);
+  return out;
+}
+
+Vector chol_solve(const CholFactors& f, Vector b) {
+  if (!f.ok) throw std::runtime_error("chol_solve: factorization failed");
+  return chol_backward(f, chol_forward(f, std::move(b)));
+}
+
+Matrix chol_solve(const CholFactors& f, const Matrix& b) {
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    x.set_column(j, chol_solve(f, b.column(j)));
+  }
+  return x;
+}
+
+}  // namespace repro::linalg

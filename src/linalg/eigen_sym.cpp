@@ -1,0 +1,165 @@
+#include "linalg/eigen_sym.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace repro::linalg {
+namespace {
+
+// Householder reduction of a real symmetric matrix to tridiagonal form.
+// On exit `a` holds the accumulated orthogonal transform (if want_vectors),
+// d the diagonal, e the subdiagonal (e[0] = 0).
+void tred2(Matrix& a, Vector& d, Vector& e, bool want_vectors) {
+  const int n = static_cast<int>(a.rows());
+  d.assign(n, 0.0);
+  e.assign(n, 0.0);
+  for (int i = n - 1; i > 0; --i) {
+    const int l = i - 1;
+    double h = 0.0, scale = 0.0;
+    if (l > 0) {
+      for (int k = 0; k < i; ++k) scale += std::abs(a(i, k));
+      if (scale == 0.0) {
+        e[i] = a(i, l);
+      } else {
+        for (int k = 0; k < i; ++k) {
+          a(i, k) /= scale;
+          h += a(i, k) * a(i, k);
+        }
+        double f = a(i, l);
+        double g = (f >= 0.0) ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        a(i, l) = f - g;
+        f = 0.0;
+        for (int j = 0; j < i; ++j) {
+          if (want_vectors) a(j, i) = a(i, j) / h;
+          g = 0.0;
+          for (int k = 0; k < j + 1; ++k) g += a(j, k) * a(i, k);
+          for (int k = j + 1; k < i; ++k) g += a(k, j) * a(i, k);
+          e[j] = g / h;
+          f += e[j] * a(i, j);
+        }
+        const double hh = f / (h + h);
+        for (int j = 0; j < i; ++j) {
+          f = a(i, j);
+          e[j] = g = e[j] - hh * f;
+          for (int k = 0; k < j + 1; ++k) {
+            a(j, k) -= f * e[k] + g * a(i, k);
+          }
+        }
+      }
+    } else {
+      e[i] = a(i, l);
+    }
+    d[i] = h;
+  }
+  if (want_vectors) d[0] = 0.0;
+  e[0] = 0.0;
+  for (int i = 0; i < n; ++i) {
+    if (want_vectors) {
+      if (d[i] != 0.0) {
+        for (int j = 0; j < i; ++j) {
+          double g = 0.0;
+          for (int k = 0; k < i; ++k) g += a(i, k) * a(k, j);
+          for (int k = 0; k < i; ++k) a(k, j) -= g * a(k, i);
+        }
+      }
+      d[i] = a(i, i);
+      a(i, i) = 1.0;
+      for (int j = 0; j < i; ++j) a(j, i) = a(i, j) = 0.0;
+    } else {
+      d[i] = a(i, i);
+    }
+  }
+}
+
+// Implicit-shift QL iteration on the tridiagonal (d, e); accumulates the
+// rotations into `a` when want_vectors.
+bool tql2(Matrix& a, Vector& d, Vector& e, bool want_vectors) {
+  const int n = static_cast<int>(d.size());
+  for (int i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+  for (int l = 0; l < n; ++l) {
+    int iter = 0;
+    int m = 0;
+    do {
+      for (m = l; m < n - 1; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= std::numeric_limits<double>::epsilon() * dd) {
+          break;
+        }
+      }
+      if (m != l) {
+        if (iter++ == 50) return false;
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + (g >= 0.0 ? std::abs(r) : -std::abs(r)));
+        double s = 1.0, c = 1.0, p = 0.0;
+        int i = m - 1;
+        for (; i >= l; --i) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          if (want_vectors) {
+            for (int k = 0; k < n; ++k) {
+              f = a(k, i + 1);
+              a(k, i + 1) = s * a(k, i) + c * f;
+              a(k, i) = c * a(k, i) - s * f;
+            }
+          }
+        }
+        if (r == 0.0 && i >= l) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  return true;
+}
+
+}  // namespace
+
+EigenSymResult eigen_sym(Matrix s, bool want_vectors) {
+  if (s.rows() != s.cols()) throw std::invalid_argument("eigen_sym: not square");
+  EigenSymResult out;
+  if (s.rows() == 0) return out;
+  Vector e;
+  tred2(s, out.values, e, want_vectors);
+  out.converged = tql2(s, out.values, e, want_vectors);
+  if (want_vectors) out.vectors = std::move(s);
+
+  // Sort ascending with matching eigenvector columns (insertion sort; QL
+  // output is nearly sorted already).
+  const std::size_t n = out.values.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    const double val = out.values[i];
+    Vector col;
+    if (want_vectors) col = out.vectors.column(i);
+    std::size_t j = i;
+    while (j > 0 && out.values[j - 1] > val) {
+      out.values[j] = out.values[j - 1];
+      if (want_vectors) out.vectors.set_column(j, out.vectors.column(j - 1));
+      --j;
+    }
+    out.values[j] = val;
+    if (want_vectors) out.vectors.set_column(j, col);
+  }
+  return out;
+}
+
+}  // namespace repro::linalg

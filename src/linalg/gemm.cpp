@@ -1,0 +1,149 @@
+#include "linalg/gemm.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace repro::linalg {
+namespace {
+
+std::size_t g_threads = [] {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return static_cast<std::size_t>(std::clamp(hc, 1u, 8u));
+}();
+
+// Runs fn(begin, end) over [0, total) split across the configured number of
+// threads.  Falls back to inline execution for small problems where thread
+// startup would dominate.
+template <typename Fn>
+void parallel_rows(std::size_t total, std::size_t flops_per_row, Fn&& fn) {
+  const std::size_t nt =
+      (total * flops_per_row > 4'000'000 && g_threads > 1)
+          ? std::min(g_threads, total)
+          : 1;
+  if (nt <= 1) {
+    fn(std::size_t{0}, total);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(nt);
+  const std::size_t chunk = (total + nt - 1) / nt;
+  for (std::size_t t = 0; t < nt; ++t) {
+    const std::size_t b = t * chunk;
+    const std::size_t e = std::min(total, b + chunk);
+    if (b >= e) break;
+    workers.emplace_back([&fn, b, e] { fn(b, e); });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace
+
+void set_gemm_threads(std::size_t n) { g_threads = std::max<std::size_t>(1, n); }
+std::size_t gemm_threads() { return g_threads; }
+
+Matrix multiply(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("multiply: " + a.shape_string() + " * " +
+                                b.shape_string());
+  }
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  parallel_rows(m, k * n, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t i = rb; i < re; ++i) {
+      double* ci = &c(i, 0);
+      for (std::size_t p = 0; p < k; ++p) {
+        const double aip = a(i, p);
+        if (aip == 0.0) continue;  // sensitivity matrices are fairly sparse
+        const double* bp = b.row(p).data();
+        for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+      }
+    }
+  });
+  return c;
+}
+
+Matrix multiply_bt(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("multiply_bt: " + a.shape_string() + " * " +
+                                b.shape_string() + "^T");
+  }
+  const std::size_t m = a.rows(), n = b.rows();
+  Matrix c(m, n);
+  parallel_rows(m, a.cols() * n, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t i = rb; i < re; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        c(i, j) = dot(a.row(i), b.row(j));
+      }
+    }
+  });
+  return c;
+}
+
+Matrix multiply_at(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("multiply_at: " + a.shape_string() + "^T * " +
+                                b.shape_string());
+  }
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  // Accumulate row blocks of the output; parallelize over output rows by
+  // striping the k-loop contributions into thread-local buffers would cost
+  // memory, so instead parallelize over output rows with a transposed access
+  // of A (strided reads of A are the price; k is the long dimension).
+  Matrix c(m, n);
+  parallel_rows(m, k * n / std::max<std::size_t>(m, 1) + n,
+                [&](std::size_t rb, std::size_t re) {
+                  for (std::size_t i = rb; i < re; ++i) {
+                    double* ci = &c(i, 0);
+                    for (std::size_t p = 0; p < k; ++p) {
+                      const double api = a(p, i);
+                      if (api == 0.0) continue;
+                      const double* bp = b.row(p).data();
+                      for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+                    }
+                  }
+                });
+  return c;
+}
+
+Matrix gram(const Matrix& a) {
+  const std::size_t n = a.rows();
+  Matrix c(n, n);
+  parallel_rows(n, a.cols() * n / 2, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t i = rb; i < re; ++i) {
+      for (std::size_t j = i; j < a.rows(); ++j) {
+        c(i, j) = dot(a.row(i), a.row(j));
+      }
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) c(i, j) = c(j, i);
+  }
+  return c;
+}
+
+Matrix gram_t(const Matrix& a) {
+  const std::size_t n = a.cols(), k = a.rows();
+  Matrix c(n, n);
+  // C += a_p^T a_p accumulated row-wise; parallelize over output rows using
+  // the multiply_at access pattern restricted to the upper triangle.
+  parallel_rows(n, k * n / 2 / std::max<std::size_t>(n, 1) + n,
+                [&](std::size_t rb, std::size_t re) {
+                  for (std::size_t i = rb; i < re; ++i) {
+                    double* ci = &c(i, 0);
+                    for (std::size_t p = 0; p < k; ++p) {
+                      const double api = a(p, i);
+                      if (api == 0.0) continue;
+                      const double* row = a.row(p).data();
+                      for (std::size_t j = i; j < n; ++j) ci[j] += api * row[j];
+                    }
+                  }
+                });
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) c(i, j) = c(j, i);
+  }
+  return c;
+}
+
+}  // namespace repro::linalg

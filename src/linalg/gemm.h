@@ -1,0 +1,33 @@
+// Matrix-matrix multiply kernels.
+//
+// The experiment pipeline multiplies matrices up to a few thousand rows and
+// columns (e.g. the path Gram matrix A A^T for ~3.5k paths x ~1.7k
+// parameters).  A cache-blocked i-k-j kernel with optional multithreading is
+// plenty: it reaches a few GFLOP/s, which keeps full-scale tables in the
+// minutes range without pulling in an external BLAS.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+
+namespace repro::linalg {
+
+// C = A * B
+Matrix multiply(const Matrix& a, const Matrix& b);
+// C = A * B^T  (computed without materializing B^T)
+Matrix multiply_bt(const Matrix& a, const Matrix& b);
+// C = A^T * B
+Matrix multiply_at(const Matrix& a, const Matrix& b);
+// Symmetric rank-k update: returns A * A^T (exactly symmetric by
+// construction; only the upper triangle is computed and mirrored).
+Matrix gram(const Matrix& a);
+// A^T * A
+Matrix gram_t(const Matrix& a);
+
+// Number of worker threads used for large products (set once at startup,
+// defaults to hardware_concurrency capped at 8).
+void set_gemm_threads(std::size_t n);
+std::size_t gemm_threads();
+
+}  // namespace repro::linalg

@@ -1,0 +1,93 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace repro::linalg {
+
+LuFactors lu_factor(Matrix a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("lu_factor: not square");
+  const std::size_t n = a.rows();
+  LuFactors f;
+  f.pivots.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at or below the diagonal.
+    std::size_t piv = k;
+    double best = std::abs(a(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (std::abs(a(i, k)) > best) {
+        best = std::abs(a(i, k));
+        piv = i;
+      }
+    }
+    f.pivots[k] = static_cast<int>(piv);
+    if (piv != k) {
+      a.swap_rows(piv, k);
+      f.sign = -f.sign;
+    }
+    const double akk = a(k, k);
+    if (akk == 0.0) {
+      f.singular = true;
+      continue;
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double lik = a(i, k) / akk;
+      a(i, k) = lik;
+      if (lik == 0.0) continue;
+      double* ai = &a(i, 0);
+      const double* ak = &a(k, 0);
+      for (std::size_t j = k + 1; j < n; ++j) ai[j] -= lik * ak[j];
+    }
+  }
+  f.lu = std::move(a);
+  return f;
+}
+
+Vector lu_solve(const LuFactors& f, Vector b) {
+  if (f.singular) throw std::runtime_error("lu_solve: singular matrix");
+  const std::size_t n = f.lu.rows();
+  if (b.size() != n) throw std::invalid_argument("lu_solve: rhs size");
+  // Apply permutation.
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto p = static_cast<std::size_t>(f.pivots[k]);
+    if (p != k) std::swap(b[k], b[p]);
+  }
+  // Forward substitution with unit lower triangle.
+  for (std::size_t i = 1; i < n; ++i) {
+    double s = b[i];
+    const double* li = f.lu.row(i).data();
+    for (std::size_t j = 0; j < i; ++j) s -= li[j] * b[j];
+    b[i] = s;
+  }
+  // Back substitution with U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    const double* ui = f.lu.row(ii).data();
+    for (std::size_t j = ii + 1; j < n; ++j) s -= ui[j] * b[j];
+    b[ii] = s / ui[ii];
+  }
+  return b;
+}
+
+Matrix lu_solve(const LuFactors& f, const Matrix& b) {
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    x.set_column(j, lu_solve(f, b.column(j)));
+  }
+  return x;
+}
+
+Matrix inverse(const Matrix& a) {
+  const LuFactors f = lu_factor(a);
+  return lu_solve(f, Matrix::identity(a.rows()));
+}
+
+double determinant(const Matrix& a) {
+  const LuFactors f = lu_factor(a);
+  if (f.singular) return 0.0;
+  double det = static_cast<double>(f.sign);
+  for (std::size_t i = 0; i < a.rows(); ++i) det *= f.lu(i, i);
+  return det;
+}
+
+}  // namespace repro::linalg

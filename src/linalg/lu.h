@@ -1,0 +1,29 @@
+// LU factorization with partial pivoting, plus solve / inverse / determinant.
+//
+// Used for small-to-medium square systems (e.g. the r x r normal-equation
+// systems inside the Theorem-2 predictor when the Gram block is well
+// conditioned, and for test oracles).
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace repro::linalg {
+
+struct LuFactors {
+  Matrix lu;                  // packed L (unit diagonal, below) and U (above)
+  std::vector<int> pivots;    // row permutation applied, pivots[k] = row swapped into k
+  int sign = 1;               // permutation sign, for determinants
+  bool singular = false;      // exact zero pivot encountered
+};
+
+LuFactors lu_factor(Matrix a);
+
+// Solve A x = b given factors.  Throws if factors.singular.
+Vector lu_solve(const LuFactors& f, Vector b);
+// Solve for multiple right-hand sides (columns of B).
+Matrix lu_solve(const LuFactors& f, const Matrix& b);
+
+Matrix inverse(const Matrix& a);
+double determinant(const Matrix& a);
+
+}  // namespace repro::linalg

@@ -1,0 +1,140 @@
+#include "linalg/qr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace repro::linalg {
+namespace {
+
+// Computes a Householder reflector for the vector stored in column j of `a`
+// starting at row j: returns (beta, tau) where the transformed column becomes
+// (beta, 0, ..., 0)^T, the reflector v (v[0]=1 implicit) is stored below the
+// diagonal, and H = I - tau v v^T.
+double make_reflector(Matrix& a, std::size_t j, double& tau) {
+  const std::size_t m = a.rows();
+  double normx = 0.0;
+  for (std::size_t i = j; i < m; ++i) normx = std::hypot(normx, a(i, j));
+  if (normx == 0.0) {
+    tau = 0.0;
+    return 0.0;
+  }
+  const double alpha = a(j, j);
+  const double beta = (alpha >= 0.0) ? -normx : normx;
+  const double v0 = alpha - beta;
+  tau = -v0 / beta;  // = (beta - alpha) / beta
+  // Store normalized reflector tail (v[0] = 1 implicit).
+  const double inv_v0 = 1.0 / v0;
+  for (std::size_t i = j + 1; i < m; ++i) a(i, j) *= inv_v0;
+  return beta;
+}
+
+}  // namespace
+
+QrFactors qr_factor(Matrix a) {
+  const std::size_t m = a.rows(), n = a.cols();
+  const std::size_t k = std::min(m, n);
+  QrFactors f;
+  f.tau.assign(k, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    double tau = 0.0;
+    const double beta = make_reflector(a, j, tau);
+    // Apply H = I - tau v v^T to the trailing columns.
+    if (tau != 0.0) {
+      for (std::size_t c = j + 1; c < n; ++c) {
+        double s = a(j, c);
+        for (std::size_t i = j + 1; i < m; ++i) s += a(i, j) * a(i, c);
+        s *= tau;
+        a(j, c) -= s;
+        for (std::size_t i = j + 1; i < m; ++i) a(i, c) -= s * a(i, j);
+      }
+    }
+    a(j, j) = beta;
+    f.tau[j] = tau;
+  }
+  f.qr = std::move(a);
+  return f;
+}
+
+void qr_apply_qt(const QrFactors& f, std::span<double> v) {
+  const std::size_t m = f.qr.rows();
+  if (v.size() != m) throw std::invalid_argument("qr_apply_qt size");
+  for (std::size_t j = 0; j < f.tau.size(); ++j) {
+    const double tau = f.tau[j];
+    if (tau == 0.0) continue;
+    double s = v[j];
+    for (std::size_t i = j + 1; i < m; ++i) s += f.qr(i, j) * v[i];
+    s *= tau;
+    v[j] -= s;
+    for (std::size_t i = j + 1; i < m; ++i) v[i] -= s * f.qr(i, j);
+  }
+}
+
+void qr_apply_q(const QrFactors& f, std::span<double> v) {
+  const std::size_t m = f.qr.rows();
+  if (v.size() != m) throw std::invalid_argument("qr_apply_q size");
+  for (std::size_t jj = f.tau.size(); jj-- > 0;) {
+    const double tau = f.tau[jj];
+    if (tau == 0.0) continue;
+    double s = v[jj];
+    for (std::size_t i = jj + 1; i < m; ++i) s += f.qr(i, jj) * v[i];
+    s *= tau;
+    v[jj] -= s;
+    for (std::size_t i = jj + 1; i < m; ++i) v[i] -= s * f.qr(i, jj);
+  }
+}
+
+Matrix qr_thin_q(const QrFactors& f) {
+  const std::size_t m = f.qr.rows();
+  const std::size_t k = f.tau.size();
+  Matrix q(m, k);
+  Vector e(m);
+  for (std::size_t c = 0; c < k; ++c) {
+    std::fill(e.begin(), e.end(), 0.0);
+    e[c] = 1.0;
+    qr_apply_q(f, e);
+    q.set_column(c, e);
+  }
+  return q;
+}
+
+Matrix qr_r(const QrFactors& f) {
+  const std::size_t k = f.tau.size();
+  Matrix r(k, f.qr.cols());
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i; j < f.qr.cols(); ++j) r(i, j) = f.qr(i, j);
+  }
+  return r;
+}
+
+Vector qr_least_squares(const Matrix& a, std::span<const double> b) {
+  if (a.rows() < a.cols()) {
+    throw std::invalid_argument("qr_least_squares: underdetermined system");
+  }
+  if (b.size() != a.rows()) {
+    throw std::invalid_argument("qr_least_squares: rhs size");
+  }
+  const QrFactors f = qr_factor(a);
+  Vector y(b.begin(), b.end());
+  qr_apply_qt(f, y);
+  const std::size_t n = a.cols();
+  // Rank check relative to the leading diagonal of R (column norms only
+  // shrink down the factorization).
+  const double tol = std::abs(f.qr(0, 0)) *
+                     static_cast<double>(std::max(a.rows(), a.cols())) *
+                     std::numeric_limits<double>::epsilon() * 16.0;
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= f.qr(ii, j) * x[j];
+    const double d = f.qr(ii, ii);
+    if (std::abs(d) <= tol) {
+      throw std::runtime_error("qr_least_squares: rank deficient");
+    }
+    x[ii] = s / d;
+  }
+  return x;
+}
+
+}  // namespace repro::linalg

@@ -1,0 +1,103 @@
+#include "linalg/qr_colpivot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace repro::linalg {
+
+QrcpResult qr_colpivot(Matrix a, std::size_t max_steps) {
+  const std::size_t m = a.rows(), n = a.cols();
+  const std::size_t kmax0 = std::min(m, n);
+  const std::size_t kmax =
+      (max_steps == 0) ? kmax0 : std::min(kmax0, max_steps);
+
+  QrcpResult out;
+  out.perm.resize(n);
+  std::iota(out.perm.begin(), out.perm.end(), 0);
+  out.tau.assign(kmax, 0.0);
+  out.rdiag_abs.assign(kmax, 0.0);
+
+  // Running squared column norms of the trailing submatrix, updated after
+  // each reflector (with periodic recomputation for numerical safety, per
+  // LINPACK's downdating recipe).
+  Vector colnorm2(n), colnorm2_ref(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < m; ++i) s += a(i, j) * a(i, j);
+    colnorm2[j] = colnorm2_ref[j] = s;
+  }
+
+  for (std::size_t k = 0; k < kmax; ++k) {
+    // Pivot: remaining column with the largest updated norm.
+    std::size_t piv = k;
+    for (std::size_t j = k + 1; j < n; ++j) {
+      if (colnorm2[j] > colnorm2[piv]) piv = j;
+    }
+    if (piv != k) {
+      a.swap_cols(piv, k);
+      std::swap(colnorm2[piv], colnorm2[k]);
+      std::swap(colnorm2_ref[piv], colnorm2_ref[k]);
+      std::swap(out.perm[piv], out.perm[k]);
+    }
+
+    // Householder reflector on column k (rows k..m-1).
+    double normx = 0.0;
+    for (std::size_t i = k; i < m; ++i) normx = std::hypot(normx, a(i, k));
+    if (normx == 0.0) {
+      out.tau[k] = 0.0;
+      out.rdiag_abs[k] = 0.0;
+      continue;
+    }
+    const double alpha = a(k, k);
+    const double beta = (alpha >= 0.0) ? -normx : normx;
+    const double v0 = alpha - beta;
+    const double tau = -v0 / beta;
+    const double inv_v0 = 1.0 / v0;
+    for (std::size_t i = k + 1; i < m; ++i) a(i, k) *= inv_v0;
+    a(k, k) = beta;
+    out.tau[k] = tau;
+    out.rdiag_abs[k] = std::abs(beta);
+
+    // Apply to trailing columns and downdate their norms.
+    for (std::size_t c = k + 1; c < n; ++c) {
+      double s = a(k, c);
+      for (std::size_t i = k + 1; i < m; ++i) s += a(i, k) * a(i, c);
+      s *= tau;
+      a(k, c) -= s;
+      for (std::size_t i = k + 1; i < m; ++i) a(i, c) -= s * a(i, k);
+
+      // Norm downdate: ||col||^2 -= R(k,c)^2, with refresh when cancellation
+      // makes the running value unreliable.
+      const double rkc = a(k, c);
+      double updated = colnorm2[c] - rkc * rkc;
+      if (updated < 0.05 * colnorm2_ref[c] || updated <= 0.0) {
+        double s2 = 0.0;
+        for (std::size_t i = k + 1; i < m; ++i) s2 += a(i, c) * a(i, c);
+        updated = s2;
+        colnorm2_ref[c] = s2;
+      }
+      colnorm2[c] = updated;
+    }
+  }
+  out.qr = std::move(a);
+  return out;
+}
+
+std::size_t qrcp_rank(const QrcpResult& f, double abs_tol) {
+  if (f.rdiag_abs.empty()) return 0;
+  double tol = abs_tol;
+  if (tol < 0.0) {
+    const double dim = static_cast<double>(std::max(f.qr.rows(), f.qr.cols()));
+    tol = dim * std::numeric_limits<double>::epsilon() * f.rdiag_abs.front();
+  }
+  std::size_t r = 0;
+  for (double d : f.rdiag_abs) {
+    if (d > tol) ++r;
+    else break;  // rdiag is (approximately) non-increasing under pivoting
+  }
+  return r;
+}
+
+}  // namespace repro::linalg

@@ -1,0 +1,27 @@
+// QR factorization with column pivoting (Businger–Golub), the subset-selection
+// engine behind the paper's Algorithm 2: QR-with-column-pivoting on U_r^T
+// ranks the columns (= candidate paths) by how much new "direction" each adds,
+// and the first r pivot columns identify the representative rows of A.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace repro::linalg {
+
+struct QrcpResult {
+  Matrix qr;                // compact Householder factorization of A * P
+  Vector tau;               // reflector coefficients
+  std::vector<int> perm;    // column permutation: pivot k selected column perm[k]
+  std::vector<double> rdiag_abs;  // |R(k,k)| in pivot order (non-increasing-ish)
+};
+
+// Factorize A P = Q R choosing at each step the remaining column of largest
+// updated 2-norm.  `max_steps` bounds the number of pivot steps (0 = full);
+// Algorithm 2 only needs the first r pivots, so stopping early saves work.
+QrcpResult qr_colpivot(Matrix a, std::size_t max_steps = 0);
+
+// Numerical rank from a pivoted QR: number of |R(k,k)| above
+// tol = max(m,n) * eps * |R(0,0)| (or an explicit absolute tolerance).
+std::size_t qrcp_rank(const QrcpResult& f, double abs_tol = -1.0);
+
+}  // namespace repro::linalg

@@ -1,0 +1,261 @@
+#include "timing/path_enum.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+namespace repro::timing {
+namespace {
+
+constexpr double kNegInf = -1e300;
+
+struct ArenaNode {
+  circuit::GateId gate;
+  int parent;  // index into arena, -1 for path start
+};
+
+struct HeapEntry {
+  double bound;   // prefix score + exact suffix bound
+  double prefix;  // score accumulated up to (and including) node
+  int arena_idx;
+  bool operator<(const HeapEntry& other) const { return bound < other.bound; }
+};
+
+std::vector<double> gate_scores(const TimingGraph& graph,
+                                const PathEnumOptions& options) {
+  const std::size_t n = graph.netlist().size();
+  std::vector<double> score(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<circuit::GateId>(i);
+    score[i] = graph.gate_delay_ps(id) +
+               options.sigma_weight * graph.gate_sigma_total_ps(id);
+  }
+  return score;
+}
+
+// Exact suffix bound toward the capture set marked in `is_sink` (best
+// remaining score from each gate to any marked sink; kNegInf if none
+// reachable).
+std::vector<double> suffix_bounds(const TimingGraph& graph,
+                                  const std::vector<double>& score,
+                                  const std::vector<char>& is_sink) {
+  const circuit::Netlist& nl = graph.netlist();
+  std::vector<double> suffix(nl.size(), kNegInf);
+  const auto& topo = graph.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const circuit::GateId id = *it;
+    const auto i = static_cast<std::size_t>(id);
+    if (is_sink[i]) {
+      suffix[i] = 0.0;
+      continue;
+    }
+    double best = kNegInf;
+    for (circuit::GateId s : nl.gate(id).fanout) {
+      const double sfx = suffix[static_cast<std::size_t>(s)];
+      if (sfx <= kNegInf) continue;
+      best = std::max(best, score[static_cast<std::size_t>(s)] + sfx);
+    }
+    suffix[i] = best;
+  }
+  return suffix;
+}
+
+// Best-first enumeration with the implicit path tree; emits at most
+// max_paths paths ending at marked sinks, in non-increasing score order.
+std::vector<Path> best_first(const TimingGraph& graph,
+                             const std::vector<double>& score,
+                             const std::vector<double>& suffix,
+                             const std::vector<char>& is_sink,
+                             std::size_t max_paths,
+                             double min_score_fraction) {
+  const circuit::Netlist& nl = graph.netlist();
+  std::vector<ArenaNode> arena;
+  std::priority_queue<HeapEntry> heap;
+  for (circuit::GateId id : nl.inputs()) {
+    if (suffix[static_cast<std::size_t>(id)] <= kNegInf) continue;
+    const double prefix = score[static_cast<std::size_t>(id)];
+    arena.push_back({id, -1});
+    heap.push({prefix + suffix[static_cast<std::size_t>(id)], prefix,
+               static_cast<int>(arena.size()) - 1});
+  }
+
+  std::vector<Path> out;
+  double best_score = -1.0;
+  while (!heap.empty() && out.size() < max_paths) {
+    const HeapEntry e = heap.top();
+    heap.pop();
+    const circuit::GateId gid =
+        arena[static_cast<std::size_t>(e.arena_idx)].gate;
+    const auto gi = static_cast<std::size_t>(gid);
+    if (is_sink[gi]) {
+      Path p;
+      p.score = e.prefix;
+      for (int cur = e.arena_idx; cur >= 0;
+           cur = arena[static_cast<std::size_t>(cur)].parent) {
+        p.gates.push_back(arena[static_cast<std::size_t>(cur)].gate);
+      }
+      std::reverse(p.gates.begin(), p.gates.end());
+      if (best_score < 0.0) best_score = p.score;
+      if (min_score_fraction > 0.0 &&
+          p.score < min_score_fraction * best_score) {
+        break;
+      }
+      out.push_back(std::move(p));
+      continue;
+    }
+    for (circuit::GateId s : nl.gate(gid).fanout) {
+      const double sfx = suffix[static_cast<std::size_t>(s)];
+      if (sfx <= kNegInf) continue;
+      const double prefix = e.prefix + score[static_cast<std::size_t>(s)];
+      arena.push_back({s, e.arena_idx});
+      heap.push({prefix + sfx, prefix, static_cast<int>(arena.size()) - 1});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Path> enumerate_worst_paths(const TimingGraph& graph,
+                                        const PathEnumOptions& options) {
+  const circuit::Netlist& nl = graph.netlist();
+  const std::vector<double> score = gate_scores(graph, options);
+  std::vector<char> is_sink(nl.size(), 0);
+  for (circuit::GateId id : nl.outputs()) {
+    is_sink[static_cast<std::size_t>(id)] = 1;
+  }
+  const std::vector<double> suffix = suffix_bounds(graph, score, is_sink);
+  return best_first(graph, score, suffix, is_sink, options.max_paths,
+                    options.min_score_fraction);
+}
+
+std::vector<Path> enumerate_worst_paths_per_endpoint(
+    const TimingGraph& graph, const PathEnumOptions& options,
+    std::size_t min_quota) {
+  const circuit::Netlist& nl = graph.netlist();
+  const auto& outputs = nl.outputs();
+  if (outputs.empty()) return {};
+  const std::vector<double> score = gate_scores(graph, options);
+  const std::size_t quota = std::max(
+      min_quota, options.max_paths / std::max<std::size_t>(outputs.size(), 1));
+
+  std::vector<Path> all;
+  std::vector<char> is_sink(nl.size(), 0);
+  for (circuit::GateId o : outputs) {
+    std::fill(is_sink.begin(), is_sink.end(), 0);
+    is_sink[static_cast<std::size_t>(o)] = 1;
+    const std::vector<double> suffix = suffix_bounds(graph, score, is_sink);
+    std::vector<Path> paths =
+        best_first(graph, score, suffix, is_sink, quota,
+                   options.min_score_fraction);
+    all.insert(all.end(), std::make_move_iterator(paths.begin()),
+               std::make_move_iterator(paths.end()));
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Path& a, const Path& b) { return a.score > b.score; });
+  if (all.size() > options.max_paths) all.resize(options.max_paths);
+  return all;
+}
+
+std::vector<Path> worst_path_through_each_gate(const TimingGraph& graph,
+                                               const PathEnumOptions& options) {
+  const circuit::Netlist& nl = graph.netlist();
+  const std::size_t n = nl.size();
+  const std::vector<double> score = gate_scores(graph, options);
+
+  // Best prefix score (launch -> gate, inclusive) with predecessor links.
+  std::vector<double> prefix(n, kNegInf);
+  std::vector<circuit::GateId> pred(n, circuit::kInvalidGate);
+  for (circuit::GateId id : graph.topological_order()) {
+    const auto i = static_cast<std::size_t>(id);
+    const circuit::Gate& g = nl.gate(id);
+    if (g.type == circuit::GateType::kInput) {
+      prefix[i] = score[i];
+      continue;
+    }
+    for (circuit::GateId d : g.fanin) {
+      const double p = prefix[static_cast<std::size_t>(d)];
+      if (p <= kNegInf) continue;
+      if (p + score[i] > prefix[i]) {
+        prefix[i] = p + score[i];
+        pred[i] = d;
+      }
+    }
+  }
+  // Best suffix score (gate -> capture, exclusive) with successor links.
+  std::vector<double> suffix(n, kNegInf);
+  std::vector<circuit::GateId> succ(n, circuit::kInvalidGate);
+  const auto& topo = graph.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const circuit::GateId id = *it;
+    const auto i = static_cast<std::size_t>(id);
+    if (nl.gate(id).type == circuit::GateType::kOutput) {
+      suffix[i] = 0.0;
+      continue;
+    }
+    for (circuit::GateId s : nl.gate(id).fanout) {
+      const double sf = suffix[static_cast<std::size_t>(s)];
+      if (sf <= kNegInf) continue;
+      if (score[static_cast<std::size_t>(s)] + sf > suffix[i]) {
+        suffix[i] = score[static_cast<std::size_t>(s)] + sf;
+        succ[i] = s;
+      }
+    }
+  }
+
+  std::vector<Path> out;
+  std::unordered_set<std::size_t> seen;  // hash of the gate sequence
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<circuit::GateId>(i);
+    if (!circuit::is_combinational(nl.gate(id).type)) continue;
+    if (prefix[i] <= kNegInf || suffix[i] <= kNegInf) continue;
+    Path p;
+    p.score = prefix[i] + suffix[i];
+    // Walk back to the launch, then forward to the capture.
+    std::vector<circuit::GateId> back;
+    for (circuit::GateId cur = id; cur != circuit::kInvalidGate;
+         cur = pred[static_cast<std::size_t>(cur)]) {
+      back.push_back(cur);
+    }
+    p.gates.assign(back.rbegin(), back.rend());
+    for (circuit::GateId cur = succ[i]; cur != circuit::kInvalidGate;
+         cur = succ[static_cast<std::size_t>(cur)]) {
+      p.gates.push_back(cur);
+      if (nl.gate(cur).type == circuit::GateType::kOutput) break;
+    }
+    // Dedup: many gates share the same worst path.
+    std::size_t h = 1469598103934665603ull;
+    for (circuit::GateId g : p.gates) {
+      h ^= static_cast<std::size_t>(g) + 0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    if (seen.insert(h).second) out.push_back(std::move(p));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Path& a, const Path& b) { return a.score > b.score; });
+  return out;
+}
+
+double count_paths(const TimingGraph& graph, double cap) {
+  const circuit::Netlist& nl = graph.netlist();
+  std::vector<double> count(nl.size(), 0.0);
+  for (circuit::GateId id : nl.inputs()) {
+    count[static_cast<std::size_t>(id)] = 1.0;
+  }
+  double total = 0.0;
+  for (circuit::GateId id : graph.topological_order()) {
+    const circuit::Gate& g = nl.gate(id);
+    if (!g.fanin.empty()) {
+      double c = 0.0;
+      for (circuit::GateId d : g.fanin) {
+        c += count[static_cast<std::size_t>(d)];
+      }
+      count[static_cast<std::size_t>(id)] = std::min(c, cap);
+    }
+    if (g.type == circuit::GateType::kOutput) {
+      total = std::min(total + count[static_cast<std::size_t>(id)], cap);
+    }
+  }
+  return total;
+}
+
+}  // namespace repro::timing

@@ -1,0 +1,148 @@
+#include "timing/ssta.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/stats.h"
+
+namespace repro::timing {
+namespace {
+
+double normal_pdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+}  // namespace
+
+double CanonicalForm::variance() const {
+  double v = extra_var;
+  for (double c : coeffs) v += c * c;
+  return v;
+}
+
+double CanonicalForm::sigma() const { return std::sqrt(variance()); }
+
+double CanonicalForm::covariance(const CanonicalForm& other) const {
+  return linalg::dot(coeffs, other.coeffs);
+}
+
+CanonicalForm clark_max(const CanonicalForm& a, const CanonicalForm& b) {
+  const double va = a.variance();
+  const double vb = b.variance();
+  const double cov = a.covariance(b);
+  const double theta2 = std::max(va + vb - 2.0 * cov, 0.0);
+  const double theta = std::sqrt(theta2);
+
+  // Degenerate case: (nearly) perfectly tracking inputs -> pick the larger
+  // mean; the forms are interchangeable up to a deterministic shift.
+  if (theta < 1e-12 * (1.0 + std::sqrt(va) + std::sqrt(vb))) {
+    return a.mean >= b.mean ? a : b;
+  }
+
+  const double alpha = (a.mean - b.mean) / theta;
+  const double t = util::normal_cdf(alpha);      // P(A > B)
+  const double phi = normal_pdf(alpha);
+
+  CanonicalForm out;
+  out.mean = a.mean * t + b.mean * (1.0 - t) + theta * phi;
+  const double e2 = (a.mean * a.mean + va) * t +
+                    (b.mean * b.mean + vb) * (1.0 - t) +
+                    (a.mean + b.mean) * theta * phi;
+  const double var = std::max(e2 - out.mean * out.mean, 0.0);
+
+  // Linear part: tightness-weighted combination (standard canonical-form
+  // propagation); any variance Clark's moments carry beyond it becomes an
+  // independent remainder so the total second moment is preserved.
+  const std::size_t m = std::max(a.coeffs.size(), b.coeffs.size());
+  out.coeffs.assign(m, 0.0);
+  for (std::size_t i = 0; i < a.coeffs.size(); ++i) {
+    out.coeffs[i] += t * a.coeffs[i];
+  }
+  for (std::size_t i = 0; i < b.coeffs.size(); ++i) {
+    out.coeffs[i] += (1.0 - t) * b.coeffs[i];
+  }
+  double linear_var = t * t * a.extra_var + (1.0 - t) * (1.0 - t) * b.extra_var;
+  for (double c : out.coeffs) linear_var += c * c;
+  out.extra_var = std::max(var - linear_var, 0.0) + t * t * a.extra_var +
+                  (1.0 - t) * (1.0 - t) * b.extra_var;
+  return out;
+}
+
+double SstaResult::yield(double t_cons) const {
+  const double s = circuit_delay.sigma();
+  if (s <= 0.0) return circuit_delay.mean <= t_cons ? 1.0 : 0.0;
+  return util::normal_cdf((t_cons - circuit_delay.mean) / s);
+}
+
+SstaResult run_ssta(const TimingGraph& graph,
+                    const variation::SpatialModel& spatial,
+                    double random_scale) {
+  const circuit::Netlist& nl = graph.netlist();
+  const std::size_t n = nl.size();
+  const std::size_t num_regions = spatial.num_regions();
+  const std::size_t m = 2 * num_regions + n;  // Leff | Vt | per-gate random
+
+  SstaResult out;
+  out.num_params = m;
+
+  // Reference counting lets us free a node's canonical form once every
+  // fanout has consumed it; peak memory is the max cut width, not the
+  // circuit size.
+  std::vector<int> remaining_uses(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    remaining_uses[i] = static_cast<int>(
+        nl.gate(static_cast<circuit::GateId>(i)).fanout.size());
+  }
+
+  std::vector<CanonicalForm> arrival(n);
+  for (circuit::GateId id : graph.topological_order()) {
+    const auto i = static_cast<std::size_t>(id);
+    const circuit::Gate& g = nl.gate(id);
+
+    CanonicalForm arr;  // max over fanin arrivals
+    bool first = true;
+    for (circuit::GateId d : g.fanin) {
+      const auto di = static_cast<std::size_t>(d);
+      if (first) {
+        arr = arrival[di];
+        first = false;
+      } else {
+        arr = clark_max(arr, arrival[di]);
+      }
+      if (--remaining_uses[di] == 0) {
+        arrival[di] = CanonicalForm{};  // free the coefficient vector
+      }
+    }
+    if (arr.coeffs.empty()) arr.coeffs.assign(m, 0.0);
+
+    // Add this gate's delay form.
+    if (circuit::is_combinational(g.type)) {
+      arr.mean += graph.gate_delay_ps(id);
+      const auto& sig = graph.gate_sigmas(id);
+      for (int l = 0; l < spatial.levels(); ++l) {
+        const std::size_t region = spatial.region_index(l, g.x, g.y);
+        const double w = spatial.level_weight(l);
+        arr.coeffs[region] += sig.leff * w;
+        arr.coeffs[num_regions + region] += sig.vt * w;
+      }
+      arr.coeffs[2 * num_regions + i] += sig.random * random_scale;
+    }
+    if (g.type == circuit::GateType::kOutput) {
+      out.capture_stats.push_back({arr.mean, arr.sigma()});
+      // Fold into the running circuit max immediately and drop the form:
+      // capture points have no fanout, so we never hold more than the live
+      // cut plus one circuit-level form.
+      if (out.capture_stats.size() == 1) {
+        out.circuit_delay = std::move(arr);
+      } else {
+        out.circuit_delay = clark_max(out.circuit_delay, arr);
+      }
+      continue;
+    }
+    arrival[i] = std::move(arr);
+  }
+  return out;
+}
+
+}  // namespace repro::timing

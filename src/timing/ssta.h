@@ -1,0 +1,65 @@
+// Block-based statistical static timing analysis (SSTA).
+//
+// Propagates first-order canonical delay forms through the timing graph:
+// each arrival time is kept as  a0 + sum_i a_i x_i  over the normalized
+// variation sources (region variables and per-gate random terms), with the
+// MAX of two correlated Gaussians approximated by Clark's moment matching
+// (Clark 1961), the standard approach the paper's reference [2] (Blaauw et
+// al., "Statistical timing analysis: from basic principles to state of the
+// art") surveys.
+//
+// Used as an analytic cross-check of the Monte-Carlo circuit-yield estimate
+// in the experiment pipeline, and exercised directly by the SSTA tests.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+#include "timing/timing_graph.h"
+#include "variation/spatial_model.h"
+
+namespace repro::timing {
+
+// First-order canonical form: value = mean + coeffs . x, x ~ N(0, I).
+// Clark's max introduces approximation error that is folded into an extra
+// independent term (variance `extra_var`), keeping the form conservative.
+struct CanonicalForm {
+  double mean = 0.0;
+  linalg::Vector coeffs;   // dense over the global parameter space
+  double extra_var = 0.0;  // variance not attributable to named sources
+
+  double variance() const;
+  double sigma() const;
+  // Correlation-aware covariance with another form over the same basis.
+  double covariance(const CanonicalForm& other) const;
+};
+
+// Clark max of two canonical forms (moment-matched Gaussian, with the
+// residual second-moment mismatch pushed into extra_var).
+CanonicalForm clark_max(const CanonicalForm& a, const CanonicalForm& b);
+
+struct SstaResult {
+  // Mean / sigma of the arrival at every capture point (full canonical
+  // forms are folded into the circuit max on the fly to bound memory), plus
+  // the canonical circuit-level max.
+  struct ArrivalStats {
+    double mean = 0.0;
+    double sigma = 0.0;
+  };
+  std::vector<ArrivalStats> capture_stats;
+  CanonicalForm circuit_delay;
+  std::size_t num_params = 0;
+
+  // P(circuit delay <= t_cons) under the Gaussian approximation.
+  double yield(double t_cons) const;
+};
+
+// Runs block-based SSTA over the full circuit using the same parameter
+// basis as the experiment pipeline: [Leff regions | Vt regions | per-gate
+// random], all regions of the spatial model.
+SstaResult run_ssta(const TimingGraph& graph,
+                    const variation::SpatialModel& spatial,
+                    double random_scale = 1.0);
+
+}  // namespace repro::timing

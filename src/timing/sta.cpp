@@ -1,0 +1,88 @@
+#include "timing/sta.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace repro::timing {
+
+StaResult run_sta(const TimingGraph& graph, double t_constraint) {
+  const circuit::Netlist& nl = graph.netlist();
+  const std::size_t n = nl.size();
+  StaResult r;
+  r.arrival.assign(n, 0.0);
+  r.required.assign(n, std::numeric_limits<double>::infinity());
+  r.slack.assign(n, 0.0);
+
+  // Forward: arrival(g) = max over fanins of arrival(fi) + delay(g).
+  for (circuit::GateId id : graph.topological_order()) {
+    const circuit::Gate& g = nl.gate(id);
+    double arr = 0.0;
+    for (circuit::GateId d : g.fanin) {
+      arr = std::max(arr, r.arrival[static_cast<std::size_t>(d)]);
+    }
+    r.arrival[static_cast<std::size_t>(id)] = arr + graph.gate_delay_ps(id);
+  }
+  for (circuit::GateId id : nl.outputs()) {
+    r.circuit_delay =
+        std::max(r.circuit_delay, r.arrival[static_cast<std::size_t>(id)]);
+  }
+  const double tcons = (t_constraint > 0.0) ? t_constraint : r.circuit_delay;
+
+  // Backward: required(g) = min over fanouts of required(fo) - delay(fo).
+  const auto& topo = graph.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const circuit::GateId id = *it;
+    const circuit::Gate& g = nl.gate(id);
+    double req;
+    if (g.fanout.empty()) {
+      req = (g.type == circuit::GateType::kOutput)
+                ? tcons
+                : std::numeric_limits<double>::infinity();
+    } else {
+      req = std::numeric_limits<double>::infinity();
+      for (circuit::GateId s : g.fanout) {
+        req = std::min(req, r.required[static_cast<std::size_t>(s)] -
+                                graph.gate_delay_ps(s));
+      }
+    }
+    r.required[static_cast<std::size_t>(id)] = req;
+    r.slack[static_cast<std::size_t>(id)] =
+        req - r.arrival[static_cast<std::size_t>(id)];
+  }
+
+  // Nominal critical path: trace back from the worst capture point through
+  // the worst-arrival fanins.
+  circuit::GateId worst = circuit::kInvalidGate;
+  double worst_arr = -1.0;
+  for (circuit::GateId id : nl.outputs()) {
+    if (r.arrival[static_cast<std::size_t>(id)] > worst_arr) {
+      worst_arr = r.arrival[static_cast<std::size_t>(id)];
+      worst = id;
+    }
+  }
+  std::vector<circuit::GateId> rev;
+  while (worst != circuit::kInvalidGate) {
+    rev.push_back(worst);
+    const circuit::Gate& g = nl.gate(worst);
+    circuit::GateId best = circuit::kInvalidGate;
+    double best_arr = -1.0;
+    for (circuit::GateId d : g.fanin) {
+      if (r.arrival[static_cast<std::size_t>(d)] > best_arr) {
+        best_arr = r.arrival[static_cast<std::size_t>(d)];
+        best = d;
+      }
+    }
+    worst = best;
+  }
+  r.critical_path.assign(rev.rbegin(), rev.rend());
+  return r;
+}
+
+double path_delay_ps(const TimingGraph& graph,
+                     const std::vector<circuit::GateId>& path) {
+  double d = 0.0;
+  for (circuit::GateId id : path) d += graph.gate_delay_ps(id);
+  return d;
+}
+
+}  // namespace repro::timing

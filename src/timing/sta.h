@@ -1,0 +1,29 @@
+// Nominal static timing analysis: arrival times, required times, slacks, and
+// the nominal critical path.  The paper sets the timing constraint Tcons to
+// the nominal circuit delay (Table 1) or a relaxed multiple of it (Table 2);
+// this module computes that reference point.
+#pragma once
+
+#include <vector>
+
+#include "timing/timing_graph.h"
+
+namespace repro::timing {
+
+struct StaResult {
+  std::vector<double> arrival;   // per gate, ps (at gate output)
+  std::vector<double> required;  // per gate, ps
+  std::vector<double> slack;     // required - arrival
+  double circuit_delay = 0.0;    // max arrival over capture points
+  std::vector<circuit::GateId> critical_path;  // launch ... capture
+};
+
+// Runs nominal STA.  `t_constraint` defaults to the computed circuit delay
+// (pass a positive value to use an explicit constraint for required times).
+StaResult run_sta(const TimingGraph& graph, double t_constraint = -1.0);
+
+// Delay of an explicit path (sum of combinational gate delays along it).
+double path_delay_ps(const TimingGraph& graph,
+                     const std::vector<circuit::GateId>& path);
+
+}  // namespace repro::timing

@@ -1,0 +1,32 @@
+#include "timing/timing_graph.h"
+
+#include <cmath>
+
+namespace repro::timing {
+
+TimingGraph::TimingGraph(const circuit::Netlist& netlist,
+                         const circuit::GateLibrary& library)
+    : netlist_(&netlist), library_(&library) {
+  const std::size_t n = netlist.size();
+  nominal_delay_.resize(n);
+  sigmas_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const circuit::Gate& g = netlist.gate(static_cast<circuit::GateId>(i));
+    nominal_delay_[i] = library.nominal_delay_ps(g.type, g.fanout.size());
+    sigmas_[i] = library.delay_sigmas_ps(g.type, nominal_delay_[i]);
+  }
+  topo_ = netlist.topological_order();
+}
+
+void TimingGraph::set_gate_delay_ps(circuit::GateId id, double delay_ps) {
+  const auto i = static_cast<std::size_t>(id);
+  nominal_delay_[i] = delay_ps;
+  sigmas_[i] = library_->delay_sigmas_ps(netlist_->gate(id).type, delay_ps);
+}
+
+double TimingGraph::gate_sigma_total_ps(circuit::GateId id) const {
+  const auto& s = sigmas_[static_cast<std::size_t>(id)];
+  return std::sqrt(s.leff * s.leff + s.vt * s.vt + s.random * s.random);
+}
+
+}  // namespace repro::timing

@@ -1,0 +1,49 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every experiment in this repository is seeded from a benchmark name (or an
+// explicit integer) so that repeated runs print identical tables.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace repro::util {
+
+// Small, fast, high-quality PRNG (xoshiro256**).  We implement our own engine
+// (rather than wrapping std::mt19937_64) so that streams are stable across
+// standard-library implementations, which matters for regenerating the exact
+// tables in EXPERIMENTS.md on any platform.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Derive a deterministic seed from a string (FNV-1a) mixed with a salt.
+  static std::uint64_t seed_from(std::string_view name, std::uint64_t salt = 0);
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+  // Standard normal via Box-Muller (cached second deviate).
+  double normal();
+  double normal(double mean, double stddev);
+
+  // Fisher-Yates shuffle of an index vector.
+  void shuffle(std::vector<int>& v);
+
+  // Fork an independent child stream (used to give each Monte-Carlo worker
+  // its own generator without correlated streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace repro::util

@@ -1,0 +1,49 @@
+// Small statistics helpers shared by the variation model, the error model and
+// the Monte-Carlo evaluation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace repro::util {
+
+double mean(std::span<const double> v);
+double variance(std::span<const double> v);  // population variance
+double stddev(std::span<const double> v);
+double min_value(std::span<const double> v);
+double max_value(std::span<const double> v);
+
+// q in [0,1]; linear interpolation between order statistics.
+double quantile(std::vector<double> v, double q);
+
+// Standard normal CDF / inverse CDF.  The inverse uses the Acklam rational
+// approximation refined by one Halley step (relative error < 1e-13), enough
+// for yield thresholds like 0.01 * (1 - Y).
+double normal_cdf(double z);
+double normal_icdf(double p);
+
+// Pearson correlation of two equally sized samples.
+double correlation(std::span<const double> a, std::span<const double> b);
+
+// Running mean/variance accumulator (Welford) used by Monte Carlo loops so we
+// never need to keep all N=10,000 samples per path in memory.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace repro::util

@@ -1,0 +1,22 @@
+// Wall-clock stopwatch for reporting per-experiment runtimes in the benches.
+#pragma once
+
+#include <chrono>
+
+namespace repro::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double ms() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace repro::util

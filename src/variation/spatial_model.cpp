@@ -1,0 +1,72 @@
+#include "variation/spatial_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace repro::variation {
+
+SpatialModel::SpatialModel(int levels, std::vector<double> level_weights)
+    : levels_(levels) {
+  if (levels < 1) throw std::invalid_argument("SpatialModel: levels < 1");
+  if (level_weights.empty()) {
+    level_weights.assign(static_cast<std::size_t>(levels),
+                         1.0 / std::sqrt(static_cast<double>(levels)));
+  }
+  if (level_weights.size() != static_cast<std::size_t>(levels)) {
+    throw std::invalid_argument("SpatialModel: weight count != levels");
+  }
+  // Normalize so sum of squares is 1.
+  double ss = 0.0;
+  for (double w : level_weights) ss += w * w;
+  if (ss <= 0.0) throw std::invalid_argument("SpatialModel: zero weights");
+  const double inv = 1.0 / std::sqrt(ss);
+  for (double& w : level_weights) w *= inv;
+  weights_ = std::move(level_weights);
+
+  level_offset_.resize(static_cast<std::size_t>(levels) + 1);
+  level_offset_[0] = 0;
+  for (int l = 0; l < levels; ++l) {
+    level_offset_[static_cast<std::size_t>(l) + 1] =
+        level_offset_[static_cast<std::size_t>(l)] + regions_at_level(l);
+  }
+  total_regions_ = level_offset_.back();
+}
+
+std::size_t SpatialModel::regions_at_level(int level) const {
+  return std::size_t{1} << (2 * level);  // 4^level
+}
+
+std::size_t SpatialModel::region_index(int level, double x, double y) const {
+  if (level < 0 || level >= levels_) {
+    throw std::out_of_range("SpatialModel::region_index level");
+  }
+  if (!(x >= 0.0 && x < 1.0 && y >= 0.0 && y < 1.0)) {
+    throw std::out_of_range("SpatialModel::region_index point outside die");
+  }
+  const std::size_t grid = std::size_t{1} << level;  // 2^level per axis
+  const auto gx = static_cast<std::size_t>(x * static_cast<double>(grid));
+  const auto gy = static_cast<std::size_t>(y * static_cast<double>(grid));
+  return level_offset_[static_cast<std::size_t>(level)] + gy * grid + gx;
+}
+
+std::vector<std::size_t> SpatialModel::covering_regions(double x,
+                                                        double y) const {
+  std::vector<std::size_t> out;
+  out.reserve(static_cast<std::size_t>(levels_));
+  for (int l = 0; l < levels_; ++l) out.push_back(region_index(l, x, y));
+  return out;
+}
+
+double SpatialModel::correlation(double x1, double y1, double x2,
+                                 double y2) const {
+  double c = 0.0;
+  for (int l = 0; l < levels_; ++l) {
+    if (region_index(l, x1, y1) == region_index(l, x2, y2)) {
+      const double w = weights_[static_cast<std::size_t>(l)];
+      c += w * w;
+    }
+  }
+  return c;
+}
+
+}  // namespace repro::variation

@@ -1,0 +1,54 @@
+// Hierarchical (quad-tree) spatial correlation model for within-die process
+// variation, after Agarwal et al. (the model the paper cites via [2]).
+//
+// The die is recursively divided into quadrants for `levels` levels: level 0
+// is the whole die (die-to-die variation), level 1 has 4 regions, level 2
+// has 16, ...  A gate at position (x, y) is covered by exactly one region
+// per level, and its parameter deviation is the weighted sum of the
+// independent N(0,1) variables of the covering regions.  Gates close to each
+// other share more levels and are therefore more correlated.
+//
+// Total region counts match the paper's configurations exactly:
+//   3 levels -> 1 + 4 + 16        = 21  regions
+//   5 levels -> 1 + ... + 256     = 341 regions
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace repro::variation {
+
+class SpatialModel {
+ public:
+  // `level_weights` w_l scale each level's contribution; they are normalized
+  // so that sum w_l^2 = 1 (the per-parameter sigma budget is owned by the
+  // gate library).  Empty = equal variance per level.
+  explicit SpatialModel(int levels, std::vector<double> level_weights = {});
+
+  int levels() const { return levels_; }
+  std::size_t num_regions() const { return total_regions_; }
+  double level_weight(int level) const {
+    return weights_[static_cast<std::size_t>(level)];
+  }
+
+  // Number of regions at one level (4^level) and the global id of the region
+  // covering (x, y) in [0,1) at that level.  Global ids are dense in
+  // [0, num_regions()): level 0 first, then level 1, ...
+  std::size_t regions_at_level(int level) const;
+  std::size_t region_index(int level, double x, double y) const;
+
+  // All covering region ids for a point, one per level.
+  std::vector<std::size_t> covering_regions(double x, double y) const;
+
+  // Correlation between the parameter deviations of two points (both
+  // deviations are N(0,1) after weight normalization).
+  double correlation(double x1, double y1, double x2, double y2) const;
+
+ private:
+  int levels_;
+  std::size_t total_regions_;
+  std::vector<double> weights_;
+  std::vector<std::size_t> level_offset_;
+};
+
+}  // namespace repro::variation

@@ -1,0 +1,119 @@
+#include "core/baseline_rcp.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "circuit/generator.h"
+#include "circuit/placement.h"
+#include "core/benchmarks.h"
+#include "core/path_selection.h"
+#include "core/predictor.h"
+#include "timing/segments.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace repro::core {
+namespace {
+
+struct Fixture {
+  circuit::Netlist nl;
+  circuit::GateLibrary lib;
+  std::unique_ptr<timing::TimingGraph> tg;
+  std::vector<timing::Path> paths;
+  timing::SegmentDecomposition dec;
+  std::unique_ptr<variation::SpatialModel> spatial;
+  std::unique_ptr<variation::VariationModel> model;
+  timing::SstaResult ssta;
+
+  Fixture() : nl(circuit::generate_benchmark("s1196")) {
+    circuit::place(nl);
+    tg = std::make_unique<timing::TimingGraph>(nl, lib);
+    paths = timing::enumerate_worst_paths(*tg, {.max_paths = 150});
+    dec = timing::extract_segments(nl, paths);
+    spatial = std::make_unique<variation::SpatialModel>(3);
+    model = std::make_unique<variation::VariationModel>(
+        *tg, *spatial, paths, dec, variation::VariationOptions{});
+    ssta = timing::run_ssta(*tg, *spatial);
+  }
+};
+
+TEST(BaselineRcp, PicksHighlyCorrelatedPath) {
+  Fixture f;
+  const RcpResult r =
+      select_representative_critical_path(*f.model, *f.spatial, f.ssta);
+  ASSERT_GE(r.path_index, 0);
+  // The pool is statistically critical; its best member should correlate
+  // strongly with the chip delay.
+  EXPECT_GT(r.correlation, 0.7);
+  EXPECT_LE(r.correlation, 1.0 + 1e-9);
+  // And it is the argmax of the reported per-path correlations.
+  for (double c : r.all_correlations) {
+    EXPECT_LE(c, r.correlation + 1e-12);
+  }
+}
+
+TEST(BaselineRcp, ChipDelayRegressionValidatedByMonteCarlo) {
+  Fixture f;
+  const RcpResult r =
+      select_representative_critical_path(*f.model, *f.spatial, f.ssta);
+  // Sample silicon: compare the RCP linear predictor against the sampled
+  // chip delay (max over target paths, a lower bound of the true circuit
+  // delay that the pool approximates).
+  util::Rng rng(3);
+  linalg::Vector x(f.model->num_params());
+  util::RunningStats err;
+  std::vector<double> pred, truth;
+  for (int s = 0; s < 400; ++s) {
+    for (double& v : x) v = rng.normal();
+    const linalg::Vector d = f.model->path_delays(x);
+    double chip = 0.0;
+    for (double v : d) chip = std::max(chip, v);
+    const double p =
+        r.slope * d[static_cast<std::size_t>(r.path_index)] + r.intercept;
+    pred.push_back(p);
+    truth.push_back(chip);
+    err.add(std::abs(p - chip) / chip);
+  }
+  // Strong linear relationship and single-digit relative error on average.
+  EXPECT_GT(util::correlation(pred, truth), 0.6);
+  EXPECT_LT(err.mean(), 0.05);
+}
+
+TEST(BaselineRcp, CannotLocalizeIndividualPaths) {
+  // The paper's critique: one RCP measurement predicts the chip delay but
+  // not individual paths.  Predicting every path from the single RCP
+  // measurement must be far worse than the framework's |Pr| measurements.
+  Fixture f;
+  const RcpResult r =
+      select_representative_critical_path(*f.model, *f.spatial, f.ssta);
+  const LinearPredictor single = make_path_predictor(
+      f.model->a(), f.model->mu_paths(), {r.path_index});
+  const linalg::Vector sig = single.error_sigmas();
+  double worst = 0.0;
+  for (double s : sig) worst = std::max(worst, s);
+  // Compare with a proper representative set of modest size.
+  PathSelectionOptions opt;
+  opt.epsilon = 0.05;
+  double t_cons = 0.0;
+  for (double mu : f.model->mu_paths()) t_cons = std::max(t_cons, mu);
+  const PathSelectionResult sel =
+      select_representative_paths(f.model->a(), t_cons, opt);
+  EXPECT_GT(3.0 * worst / t_cons, opt.epsilon);  // single path misses eps
+  EXPECT_LE(sel.eps_r, opt.epsilon);             // the framework meets it
+}
+
+TEST(BaselineRcp, EmptyModelThrows) {
+  Fixture f;
+  const variation::VariationModel empty(*f.tg, *f.spatial, {},
+                                        timing::SegmentDecomposition{},
+                                        variation::VariationOptions{});
+  EXPECT_THROW((void)select_representative_critical_path(empty, *f.spatial,
+                                                         f.ssta),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repro::core

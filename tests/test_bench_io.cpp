@@ -1,0 +1,151 @@
+#include "circuit/bench_io.h"
+
+#include <gtest/gtest.h>
+
+namespace repro::circuit {
+namespace {
+
+const char* kSmallBench = R"(# small test circuit
+INPUT(G0)
+INPUT(G1)
+OUTPUT(G5)
+G3 = NAND(G0, G1)
+G4 = NOT(G3)
+G5 = OR(G4, G0)
+)";
+
+const char* kDffBench = R"(INPUT(a)
+OUTPUT(y)
+q = DFF(d)
+d = NAND(a, q)
+y = NOT(q)
+)";
+
+TEST(BenchIo, ParsesGatesAndDeclarations) {
+  const Netlist nl = read_bench_string(kSmallBench, "small");
+  EXPECT_EQ(nl.name(), "small");
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.combinational_count(), 3u);
+  ASSERT_TRUE(nl.find("G3").has_value());
+  EXPECT_EQ(nl.gate(*nl.find("G3")).type, GateType::kNand);
+  EXPECT_EQ(nl.gate(*nl.find("G3")).fanin.size(), 2u);
+}
+
+TEST(BenchIo, PoCaptureGateWiredToDeclaredSignal) {
+  const Netlist nl = read_bench_string(kSmallBench);
+  const auto po = nl.outputs().front();
+  const auto driver = nl.gate(po).fanin.front();
+  EXPECT_EQ(nl.gate(driver).name, "G5");
+}
+
+TEST(BenchIo, DffSplitIntoLaunchAndCapture) {
+  const Netlist nl = read_bench_string(kDffBench);
+  // q becomes a launch point; q$d becomes a capture point fed by d.
+  ASSERT_TRUE(nl.find("q").has_value());
+  EXPECT_EQ(nl.gate(*nl.find("q")).type, GateType::kInput);
+  ASSERT_TRUE(nl.find("q$d").has_value());
+  const Gate& cap = nl.gate(*nl.find("q$d"));
+  EXPECT_EQ(cap.type, GateType::kOutput);
+  EXPECT_EQ(nl.gate(cap.fanin.front()).name, "d");
+  // Two launch points (a, q), two capture points (y$po, q$d).
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 2u);
+}
+
+TEST(BenchIo, DffBreaksCombinationalCycle) {
+  // d depends on q, q = DFF(d): after splitting this must be acyclic.
+  const Netlist nl = read_bench_string(kDffBench);
+  EXPECT_NO_THROW((void)nl.topological_order());
+  EXPECT_TRUE(nl.validate().empty());
+}
+
+TEST(BenchIo, CommentsAndBlanksIgnored) {
+  const Netlist nl = read_bench_string(
+      "# header\n\n  \nINPUT(x)\nOUTPUT(x)\n# trailing\n");
+  EXPECT_EQ(nl.inputs().size(), 1u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+}
+
+TEST(BenchIo, UndefinedSignalThrows) {
+  EXPECT_THROW((void)read_bench_string("INPUT(a)\ng = NOT(missing)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, MalformedLineThrows) {
+  EXPECT_THROW((void)read_bench_string("INPUT a\n"), std::runtime_error);
+  EXPECT_THROW((void)read_bench_string("g = NOT(a, b)\nINPUT(a)\nINPUT(b)\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)read_bench_string("g = FROB(a)\nINPUT(a)\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)read_bench_string("q = DFF(a, b)\nINPUT(a)\nINPUT(b)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, RoundTripPreservesStructure) {
+  const Netlist nl = read_bench_string(kSmallBench);
+  const std::string text = write_bench_string(nl);
+  const Netlist nl2 = read_bench_string(text);
+  EXPECT_EQ(nl2.size(), nl.size());
+  EXPECT_EQ(nl2.inputs().size(), nl.inputs().size());
+  EXPECT_EQ(nl2.outputs().size(), nl.outputs().size());
+  EXPECT_EQ(nl2.combinational_count(), nl.combinational_count());
+  EXPECT_EQ(nl2.depth(), nl.depth());
+  EXPECT_TRUE(nl2.validate().empty());
+}
+
+TEST(BenchIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_bench_file("/nonexistent/file.bench"),
+               std::runtime_error);
+}
+
+// The real ISCAS'89 s27 netlist (4 PI, 1 PO, 3 DFF, 10 gates): a
+// ground-truth structural check against published properties.
+const char* kS27 = R"(INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+)";
+
+TEST(BenchIo, S27StructureMatchesPublished) {
+  const Netlist nl = read_bench_string(kS27, "s27");
+  EXPECT_TRUE(nl.validate().empty());
+  EXPECT_EQ(nl.combinational_count(), 10u);       // 10 logic gates
+  EXPECT_EQ(nl.inputs().size(), 4u + 3u);         // PIs + DFF outputs
+  EXPECT_EQ(nl.outputs().size(), 1u + 3u);        // PO + DFF inputs
+  // G11 fans out to G17, G10 and the DFF G6: three sinks.
+  EXPECT_EQ(nl.gate(*nl.find("G11")).fanout.size(), 3u);
+}
+
+TEST(BenchIo, S27RoundTrip) {
+  const Netlist nl = read_bench_string(kS27, "s27");
+  const Netlist nl2 = read_bench_string(write_bench_string(nl), "s27rt");
+  EXPECT_EQ(nl2.size(), nl.size());
+  EXPECT_EQ(nl2.combinational_count(), nl.combinational_count());
+  EXPECT_EQ(nl2.depth(), nl.depth());
+  EXPECT_TRUE(nl2.validate().empty());
+}
+
+TEST(BenchIo, MultiFanoutSignal) {
+  // G0 feeds two gates; fanout list must have both.
+  const Netlist nl = read_bench_string(kSmallBench);
+  const Gate& g0 = nl.gate(*nl.find("G0"));
+  EXPECT_EQ(g0.fanout.size(), 2u);
+}
+
+}  // namespace
+}  // namespace repro::circuit

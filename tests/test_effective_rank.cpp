@@ -1,0 +1,81 @@
+#include "core/effective_rank.h"
+
+#include <gtest/gtest.h>
+
+namespace repro::core {
+namespace {
+
+TEST(EffectiveRank, AllEnergyInOneValue) {
+  linalg::Vector s{10.0, 0.0, 0.0};
+  EXPECT_EQ(effective_rank(s, 0.05), 1u);
+}
+
+TEST(EffectiveRank, UniformValuesNeedAlmostAll) {
+  linalg::Vector s(10, 1.0);
+  // 95% of energy needs ceil(9.5) = 10 values.
+  EXPECT_EQ(effective_rank(s, 0.05), 10u);
+  // 20% threshold -> 80% energy -> 8 values.
+  EXPECT_EQ(effective_rank(s, 0.2), 8u);
+}
+
+TEST(EffectiveRank, GeometricDecayIsCompact) {
+  linalg::Vector s;
+  double v = 1.0;
+  for (int i = 0; i < 30; ++i) {
+    s.push_back(v);
+    v *= 0.5;
+  }
+  // sum = ~2.0; first 5 values already carry > 95%.
+  EXPECT_LE(effective_rank(s, 0.05), 5u);
+  // Tighter threshold needs more values.
+  EXPECT_GT(effective_rank(s, 0.0001), effective_rank(s, 0.05));
+}
+
+TEST(EffectiveRank, EtaZeroCountsNonzeros) {
+  linalg::Vector s{5.0, 3.0, 1.0, 0.0, 0.0};
+  EXPECT_EQ(effective_rank(s, 0.0), 3u);
+}
+
+TEST(EffectiveRank, ZeroEnergyIsRankZero) {
+  EXPECT_EQ(effective_rank(linalg::Vector(4, 0.0), 0.05), 0u);
+  EXPECT_EQ(effective_rank({}, 0.05), 0u);
+}
+
+TEST(EffectiveRank, InvalidInputsThrow) {
+  EXPECT_THROW((void)effective_rank({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)effective_rank({1.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)effective_rank({-1.0}, 0.1), std::invalid_argument);
+}
+
+TEST(EffectiveRank, MonotoneInEta) {
+  linalg::Vector s;
+  for (int i = 0; i < 50; ++i) s.push_back(1.0 / (1.0 + i));
+  std::size_t prev = 50;
+  for (double eta : {0.01, 0.05, 0.10, 0.20, 0.40}) {
+    const std::size_t k = effective_rank(s, eta);
+    EXPECT_LE(k, prev);
+    prev = k;
+  }
+}
+
+TEST(EffectiveRank, NeverExceedsLength) {
+  linalg::Vector s{1.0, 1.0};
+  EXPECT_LE(effective_rank(s, 0.001), 2u);
+}
+
+TEST(NormalizedSingularValues, SumsToOne) {
+  linalg::Vector s{4.0, 3.0, 2.0, 1.0};
+  const linalg::Vector n = normalized_singular_values(s);
+  double sum = 0.0;
+  for (double x : n) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(n[0], 0.4, 1e-12);
+}
+
+TEST(NormalizedSingularValues, ZeroVectorStaysZero) {
+  const linalg::Vector n = normalized_singular_values(linalg::Vector(3, 0.0));
+  for (double x : n) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -1,0 +1,105 @@
+#include "core/error_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/predictor.h"
+#include "linalg/gemm.h"
+#include "util/rng.h"
+
+namespace repro::core {
+namespace {
+
+linalg::Matrix random_matrix(std::size_t r, std::size_t c,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  linalg::Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.normal();
+  }
+  return m;
+}
+
+TEST(ErrorModel, GramIdentityMatchesPredictorSigmas) {
+  // Var(Delta_i) from the Gram identity must equal ||omega_i|| from the
+  // explicitly-built predictor.
+  const linalg::Matrix a = random_matrix(12, 18, 1);
+  const std::vector<int> rep{0, 3, 7};
+  const SelectionErrors se = selection_errors(a, rep, 1000.0, 3.0);
+  const LinearPredictor p =
+      make_path_predictor(a, linalg::Vector(12, 0.0), rep);
+  const linalg::Vector sig = p.error_sigmas();
+  ASSERT_EQ(se.sigma.size(), sig.size());
+  ASSERT_EQ(se.remaining, p.remaining);
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    EXPECT_NEAR(se.sigma[i], sig[i], 1e-8 * (1.0 + sig[i]));
+  }
+}
+
+TEST(ErrorModel, ZeroErrorForSpanningSelection) {
+  const linalg::Matrix a =
+      linalg::multiply(random_matrix(10, 3, 2), random_matrix(3, 14, 3));
+  // Rows 0,1,2 of the left factor are generically independent -> rows 0,1,2
+  // of A span the row space.
+  const SelectionErrors se = selection_errors(a, {0, 1, 2}, 500.0, 3.0);
+  EXPECT_NEAR(se.eps_r, 0.0, 1e-7);
+}
+
+TEST(ErrorModel, EpsRIsMaxOverRemaining) {
+  const linalg::Matrix a = random_matrix(9, 12, 4);
+  const SelectionErrors se = selection_errors(a, {0, 1}, 800.0, 3.0);
+  double max_eps = 0.0;
+  for (double e : se.per_path_eps) max_eps = std::max(max_eps, e);
+  EXPECT_NEAR(se.eps_r, max_eps, 1e-12);
+  EXPECT_NEAR(se.max_wc, se.eps_r * 800.0, 1e-9);
+}
+
+TEST(ErrorModel, KappaScalesLinearly) {
+  const linalg::Matrix a = random_matrix(9, 12, 5);
+  const SelectionErrors k3 = selection_errors(a, {0, 1}, 800.0, 3.0);
+  const SelectionErrors k6 = selection_errors(a, {0, 1}, 800.0, 6.0);
+  EXPECT_NEAR(k6.eps_r, 2.0 * k3.eps_r, 1e-12);
+}
+
+TEST(ErrorModel, TconsScalesInversely) {
+  const linalg::Matrix a = random_matrix(9, 12, 6);
+  const SelectionErrors t1 = selection_errors(a, {2, 4}, 400.0, 3.0);
+  const SelectionErrors t2 = selection_errors(a, {2, 4}, 800.0, 3.0);
+  EXPECT_NEAR(t1.eps_r, 2.0 * t2.eps_r, 1e-12);
+}
+
+TEST(ErrorModel, ErrorShrinksWithMoreRepresentatives) {
+  const linalg::Matrix a = random_matrix(15, 10, 7);
+  const linalg::Matrix w = linalg::gram(a);
+  double prev = 1e18;
+  for (std::size_t r = 1; r <= 8; ++r) {
+    std::vector<int> rep;
+    for (std::size_t i = 0; i < r; ++i) rep.push_back(static_cast<int>(i));
+    const SelectionErrors se =
+        selection_errors_from_gram(w, rep, 1000.0, 3.0);
+    // Adding a representative never hurts the remaining paths it contains...
+    // For nested prefixes the max error is non-increasing.
+    EXPECT_LE(se.eps_r, prev + 1e-9);
+    prev = se.eps_r;
+  }
+}
+
+TEST(ErrorModel, InvalidInputsThrow) {
+  const linalg::Matrix a = random_matrix(5, 5, 8);
+  EXPECT_THROW((void)selection_errors(a, {0}, 0.0, 3.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)selection_errors(a, {9}, 100.0, 3.0), std::out_of_range);
+}
+
+TEST(ErrorModel, WorstCaseGaussianHelper) {
+  EXPECT_DOUBLE_EQ(worst_case_gaussian(0.0, 2.0, 3.0), 6.0);
+  EXPECT_DOUBLE_EQ(worst_case_gaussian(-4.0, 1.0, 3.0), 7.0);
+}
+
+TEST(ErrorModel, RemainingExcludesSelection) {
+  const linalg::Matrix a = random_matrix(6, 6, 9);
+  const SelectionErrors se = selection_errors(a, {1, 3}, 100.0, 3.0);
+  EXPECT_EQ(se.remaining, (std::vector<int>{0, 2, 4, 5}));
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -1,0 +1,130 @@
+#include "core/benchmarks.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "linalg/gemm.h"
+#include "util/stats.h"
+
+namespace repro::core {
+namespace {
+
+ExperimentConfig small_config(const std::string& bench = "s1196") {
+  ExperimentConfig cfg;
+  cfg.benchmark = bench;
+  cfg.max_target_paths = 300;
+  cfg.max_candidates = 3000;
+  cfg.yield_mc_samples = 300;
+  return cfg;
+}
+
+TEST(Experiment, BuildsSmallBenchmark) {
+  const Experiment e(small_config());
+  EXPECT_GT(e.nominal_delay_ps(), 0.0);
+  EXPECT_DOUBLE_EQ(e.t_cons_ps(), e.nominal_delay_ps());
+  EXPECT_GT(e.target_paths().size(), 10u);
+  EXPECT_LE(e.target_paths().size(), 300u);
+  EXPECT_GT(e.candidates_enumerated(), e.target_paths().size());
+}
+
+TEST(Experiment, AutoHierarchySmallUses21Regions) {
+  const Experiment e(small_config());
+  EXPECT_EQ(e.total_regions(), 21u);
+}
+
+TEST(Experiment, ModelShapesConsistent) {
+  const Experiment e(small_config());
+  const auto& m = e.model();
+  EXPECT_EQ(m.num_paths(), e.target_paths().size());
+  EXPECT_EQ(m.num_segments(), e.segments().segments.size());
+  EXPECT_EQ(m.num_params(), 2 * e.covered_regions() + e.covered_gates());
+  EXPECT_LE(e.covered_gates(), e.total_gates());
+  EXPECT_LE(e.covered_regions(), e.total_regions());
+}
+
+TEST(Experiment, TargetsSortedByFailProbability) {
+  // The first target path must not have lower mean+3sigma criticality than
+  // the last one (sorted by yield loss).
+  const Experiment e(small_config());
+  const auto& m = e.model();
+  const double first =
+      1.0 - util::normal_cdf((e.t_cons_ps() - m.path_mu(0)) / m.path_sigma(0));
+  const std::size_t last_i = m.num_paths() - 1;
+  const double last =
+      1.0 - util::normal_cdf((e.t_cons_ps() - m.path_mu(last_i)) /
+                             m.path_sigma(last_i));
+  EXPECT_GE(first, last - 1e-12);
+}
+
+TEST(Experiment, TargetsExceedYieldLossThreshold) {
+  const Experiment e(small_config());
+  const auto& m = e.model();
+  const double threshold =
+      e.config().yield_loss_factor * (1.0 - e.circuit_yield());
+  for (std::size_t p = 0; p < m.num_paths(); ++p) {
+    const double q =
+        1.0 -
+        util::normal_cdf((e.t_cons_ps() - m.path_mu(p)) / m.path_sigma(p));
+    EXPECT_GT(q, threshold);
+  }
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  const Experiment a(small_config());
+  const Experiment b(small_config());
+  EXPECT_EQ(a.target_paths().size(), b.target_paths().size());
+  EXPECT_DOUBLE_EQ(a.circuit_yield(), b.circuit_yield());
+  EXPECT_LT(linalg::max_abs_diff(a.model().a(), b.model().a()), 0.0 + 1e-15);
+}
+
+TEST(Experiment, RelaxedTconsRaisesYieldAndTightensFilter) {
+  ExperimentConfig tight = small_config("s1488");
+  // A large candidate pool so the yield-loss filter (not the cap) binds.
+  tight.max_candidates = 20000;
+  tight.max_target_paths = 100000;
+  ExperimentConfig relaxed = tight;
+  relaxed.tcons_factor = 1.08;
+  const Experiment et(tight);
+  const Experiment er(relaxed);
+  // Relaxing Tcons raises circuit yield.  Under the linear delay model each
+  // path's fail probability drops faster than the 0.01*(1-Y) threshold, so
+  // fewer candidates qualify.  (The paper's larger Table-2 pools come from
+  // re-synthesizing with a relaxed constraint, which changes the netlist —
+  // see EXPERIMENTS.md; we model that by raising the extraction cap.)
+  EXPECT_GT(er.circuit_yield(), et.circuit_yield());
+  EXPECT_LT(er.target_paths().size(), et.target_paths().size());
+}
+
+TEST(Experiment, YieldEstimatorSanity) {
+  const Experiment e(small_config());
+  // Tcons = nominal delay and zero-mean variations: yield must be strictly
+  // between 0 and 1 and typically below ~0.6 (max over many paths).
+  EXPECT_GT(e.circuit_yield(), 0.0);
+  EXPECT_LT(e.circuit_yield(), 1.0);
+}
+
+TEST(Experiment, RandomScalePropagates) {
+  ExperimentConfig cfg = small_config();
+  cfg.random_scale = 3.0;
+  const Experiment e3(cfg);
+  const Experiment e1(small_config());
+  // Same circuit: the 3x model has strictly larger total sensitivity mass.
+  EXPECT_GT(e3.model().a().frobenius_norm(),
+            e1.model().a().frobenius_norm());
+}
+
+TEST(Experiment, DefaultConfigRespectsScaleMode) {
+  unsetenv("REPRO_FAST");
+  unsetenv("REPRO_FULL");
+  const ExperimentConfig def = default_experiment_config("s1423");
+  EXPECT_EQ(def.benchmark, "s1423");
+  EXPECT_EQ(def.max_target_paths, 2000u);
+  setenv("REPRO_FAST", "1", 1);
+  EXPECT_LT(default_experiment_config("s1423").max_target_paths, 2000u);
+  unsetenv("REPRO_FAST");
+}
+
+}  // namespace
+}  // namespace repro::core

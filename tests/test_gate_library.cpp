@@ -1,0 +1,98 @@
+#include "circuit/gate_library.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace repro::circuit {
+namespace {
+
+TEST(GateLibrary, TypeNameRoundTrip) {
+  for (GateType t : {GateType::kInput, GateType::kOutput, GateType::kBuf,
+                     GateType::kNot, GateType::kAnd, GateType::kNand,
+                     GateType::kOr, GateType::kNor, GateType::kXor,
+                     GateType::kXnor, GateType::kDff}) {
+    EXPECT_EQ(gate_type_from_name(gate_type_name(t)), t);
+  }
+}
+
+TEST(GateLibrary, TypeNameCaseInsensitiveAndAliases) {
+  EXPECT_EQ(gate_type_from_name("nand"), GateType::kNand);
+  EXPECT_EQ(gate_type_from_name("NAND"), GateType::kNand);
+  EXPECT_EQ(gate_type_from_name("inv"), GateType::kNot);
+  EXPECT_EQ(gate_type_from_name("buff"), GateType::kBuf);
+}
+
+TEST(GateLibrary, UnknownTypeThrows) {
+  EXPECT_THROW((void)gate_type_from_name("tristate"), std::invalid_argument);
+}
+
+TEST(GateLibrary, CombinationalClassification) {
+  EXPECT_TRUE(is_combinational(GateType::kNand));
+  EXPECT_TRUE(is_combinational(GateType::kNot));
+  EXPECT_FALSE(is_combinational(GateType::kInput));
+  EXPECT_FALSE(is_combinational(GateType::kOutput));
+  EXPECT_FALSE(is_combinational(GateType::kDff));
+}
+
+TEST(GateLibrary, LaunchCaptureHaveZeroDelay) {
+  GateLibrary lib;
+  EXPECT_DOUBLE_EQ(lib.nominal_delay_ps(GateType::kInput, 3), 0.0);
+  EXPECT_DOUBLE_EQ(lib.nominal_delay_ps(GateType::kOutput, 0), 0.0);
+}
+
+TEST(GateLibrary, DelayGrowsWithFanout) {
+  GateLibrary lib;
+  const double d1 = lib.nominal_delay_ps(GateType::kNand, 1);
+  const double d4 = lib.nominal_delay_ps(GateType::kNand, 4);
+  EXPECT_GT(d1, 0.0);
+  EXPECT_GT(d4, d1);
+}
+
+TEST(GateLibrary, ZeroFanoutTreatedAsOne) {
+  GateLibrary lib;
+  EXPECT_DOUBLE_EQ(lib.nominal_delay_ps(GateType::kNor, 0),
+                   lib.nominal_delay_ps(GateType::kNor, 1));
+}
+
+TEST(GateLibrary, SigmasScaleWithNominalDelay) {
+  GateLibrary lib;
+  const auto s1 = lib.delay_sigmas_ps(GateType::kNand, 30.0);
+  const auto s2 = lib.delay_sigmas_ps(GateType::kNand, 60.0);
+  EXPECT_NEAR(s2.leff, 2.0 * s1.leff, 1e-12);
+  EXPECT_NEAR(s2.vt, 2.0 * s1.vt, 1e-12);
+  EXPECT_NEAR(s2.random, 2.0 * s1.random, 1e-12);
+}
+
+TEST(GateLibrary, RandomVarianceFractionMatchesBudget) {
+  GateLibrary lib;
+  const auto s = lib.delay_sigmas_ps(GateType::kNor, 40.0);
+  const double total =
+      s.leff * s.leff + s.vt * s.vt + s.random * s.random;
+  // Paper: random term carries 6% of the total delay variance.
+  EXPECT_NEAR(s.random * s.random / total, 0.06, 1e-12);
+}
+
+TEST(GateLibrary, BudgetIsConfigurable) {
+  GateLibrary lib;
+  VariationBudget b;
+  b.random_variance_fraction = 0.20;
+  lib.set_budget(b);
+  const auto s = lib.delay_sigmas_ps(GateType::kAnd, 50.0);
+  const double total = s.leff * s.leff + s.vt * s.vt + s.random * s.random;
+  EXPECT_NEAR(s.random * s.random / total, 0.20, 1e-12);
+}
+
+TEST(GateLibrary, LeffDominatesVt) {
+  // With equal relative parameter sigmas, Leff elasticity ~1 vs Vt ~0.5
+  // means Leff contributes the larger delay sigma for every cell.
+  GateLibrary lib;
+  for (GateType t : {GateType::kNot, GateType::kNand, GateType::kNor,
+                     GateType::kXor}) {
+    const auto s = lib.delay_sigmas_ps(t, 40.0);
+    EXPECT_GT(s.leff, s.vt) << gate_type_name(t);
+  }
+}
+
+}  // namespace
+}  // namespace repro::circuit

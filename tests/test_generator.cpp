@@ -1,0 +1,106 @@
+#include "circuit/generator.h"
+
+#include <gtest/gtest.h>
+
+namespace repro::circuit {
+namespace {
+
+TEST(Generator, KnownBenchmarksListed) {
+  const auto names = known_benchmarks();
+  EXPECT_EQ(names.size(), 10u);
+  EXPECT_EQ(names.front(), "s1196");
+  EXPECT_EQ(names.back(), "s38584");
+}
+
+TEST(Generator, UnknownBenchmarkThrows) {
+  EXPECT_THROW((void)benchmark_config("s9999"), std::invalid_argument);
+}
+
+TEST(Generator, ConfigMatchesPublishedSizes) {
+  const GeneratorConfig cfg = benchmark_config("s1423");
+  EXPECT_EQ(cfg.num_gates, 657u);
+  EXPECT_EQ(cfg.num_inputs, 17u + 74u);
+  EXPECT_EQ(cfg.num_outputs, 5u + 74u);
+}
+
+TEST(Generator, DeterministicPerName) {
+  const Netlist a = generate_benchmark("s1196");
+  const Netlist b = generate_benchmark("s1196");
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto id = static_cast<GateId>(i);
+    EXPECT_EQ(a.gate(id).type, b.gate(id).type);
+    EXPECT_EQ(a.gate(id).fanin, b.gate(id).fanin);
+  }
+}
+
+TEST(Generator, DifferentNamesDiffer) {
+  const Netlist a = generate_benchmark("s1196");
+  const Netlist b = generate_benchmark("s1488");
+  EXPECT_NE(a.size(), b.size());
+}
+
+TEST(Generator, ProducesValidNetlist) {
+  for (const char* name : {"s1196", "s1423", "s1488"}) {
+    const Netlist nl = generate_benchmark(name);
+    const auto problems = nl.validate();
+    EXPECT_TRUE(problems.empty())
+        << name << ": " << (problems.empty() ? "" : problems.front());
+  }
+}
+
+TEST(Generator, GateCountMatchesConfig) {
+  const GeneratorConfig cfg = benchmark_config("s1423");
+  const Netlist nl = generate(cfg);
+  EXPECT_EQ(nl.combinational_count(), cfg.num_gates);
+  EXPECT_EQ(nl.inputs().size(), cfg.num_inputs);
+  EXPECT_EQ(nl.outputs().size(), cfg.num_outputs);
+}
+
+TEST(Generator, DepthNearTarget) {
+  const GeneratorConfig cfg = benchmark_config("s1423");
+  const Netlist nl = generate(cfg);
+  // Logic depth is at most the level count and should reach most of it.
+  EXPECT_LE(nl.depth(), cfg.depth + 1);
+  EXPECT_GE(nl.depth(), cfg.depth / 2);
+}
+
+TEST(Generator, EveryCombGateReachesACapturePoint) {
+  const Netlist nl = generate_benchmark("s1196");
+  // Gates with empty fanout must not exist among combinational gates (they
+  // are either wired forward or given capture points).
+  for (const Gate& g : nl.gates()) {
+    if (is_combinational(g.type)) {
+      EXPECT_FALSE(g.fanout.empty()) << g.name;
+    }
+  }
+}
+
+TEST(Generator, DegenerateConfigThrows) {
+  GeneratorConfig cfg;
+  cfg.num_gates = 1;
+  cfg.depth = 5;
+  EXPECT_THROW((void)generate(cfg), std::invalid_argument);
+}
+
+TEST(Generator, CustomSmallConfig) {
+  GeneratorConfig cfg;
+  cfg.name = "tiny";
+  cfg.num_inputs = 4;
+  cfg.num_outputs = 3;
+  cfg.num_gates = 40;
+  cfg.depth = 6;
+  cfg.seed = 99;
+  const Netlist nl = generate(cfg);
+  EXPECT_EQ(nl.combinational_count(), 40u);
+  EXPECT_TRUE(nl.validate().empty());
+}
+
+TEST(Generator, LargeBenchmarkBuilds) {
+  const Netlist nl = generate_benchmark("s38417");
+  EXPECT_EQ(nl.combinational_count(), 22179u);
+  EXPECT_TRUE(nl.validate().empty());
+}
+
+}  // namespace
+}  // namespace repro::circuit

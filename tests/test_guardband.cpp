@@ -1,0 +1,128 @@
+#include "core/guardband.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include <memory>
+
+#include "circuit/generator.h"
+#include "circuit/placement.h"
+#include "core/error_model.h"
+#include "core/path_selection.h"
+#include "timing/segments.h"
+#include "variation/variation_model.h"
+
+namespace repro::core {
+namespace {
+
+struct Fixture {
+  circuit::Netlist nl;
+  circuit::GateLibrary lib;
+  std::unique_ptr<timing::TimingGraph> tg;
+  std::vector<timing::Path> paths;
+  timing::SegmentDecomposition dec;
+  std::unique_ptr<variation::SpatialModel> spatial;
+  std::unique_ptr<variation::VariationModel> model;
+  double t_cons = 0.0;
+
+  Fixture() : nl(circuit::generate_benchmark("s1196")) {
+    circuit::place(nl);
+    tg = std::make_unique<timing::TimingGraph>(nl, lib);
+    paths = timing::enumerate_worst_paths(*tg, {.max_paths = 80});
+    dec = timing::extract_segments(nl, paths);
+    spatial = std::make_unique<variation::SpatialModel>(3);
+    model = std::make_unique<variation::VariationModel>(*tg, *spatial, paths,
+                                                        dec, variation::VariationOptions{});
+    // Set Tcons slightly above the worst nominal so that both failing and
+    // passing samples occur.
+    double worst = 0.0;
+    for (double mu : model->mu_paths()) worst = std::max(worst, mu);
+    t_cons = 1.02 * worst;
+  }
+};
+
+TEST(Guardband, NoMissedFailuresWithWorstCaseBands) {
+  Fixture f;
+  PathSelectionOptions psel;
+  psel.epsilon = 0.05;
+  const PathSelectionResult sel =
+      select_representative_paths(f.model->a(), f.t_cons, psel);
+  const LinearPredictor p = make_path_predictor(
+      f.model->a(), f.model->mu_paths(), sel.representatives);
+  McOptions opt;
+  opt.samples = 2000;
+  const GuardbandReport rep = guardband_analysis(
+      *f.model, p, sel.errors.per_path_eps, f.t_cons, psel.epsilon, opt);
+  // The per-path guard-band is a kappa=3 worst case; missed failures should
+  // be essentially absent.
+  EXPECT_LE(rep.missed, rep.observations / 10000 + 1);
+  EXPECT_GT(rep.observations, 0u);
+}
+
+TEST(Guardband, FlaggedSupersetOfTrueFailsApproximately) {
+  Fixture f;
+  PathSelectionOptions psel;
+  psel.epsilon = 0.05;
+  const PathSelectionResult sel =
+      select_representative_paths(f.model->a(), f.t_cons, psel);
+  const LinearPredictor p = make_path_predictor(
+      f.model->a(), f.model->mu_paths(), sel.representatives);
+  McOptions opt;
+  opt.samples = 1500;
+  const GuardbandReport rep = guardband_analysis(
+      *f.model, p, sel.errors.per_path_eps, f.t_cons, psel.epsilon, opt);
+  EXPECT_GE(rep.flagged + rep.missed, rep.true_fails);
+  // Sanity: confusion counts are consistent.
+  EXPECT_EQ(rep.flagged - rep.false_alarms + rep.missed, rep.true_fails);
+}
+
+TEST(Guardband, AverageBelowEpsilon) {
+  Fixture f;
+  PathSelectionOptions psel;
+  psel.epsilon = 0.05;
+  const PathSelectionResult sel =
+      select_representative_paths(f.model->a(), f.t_cons, psel);
+  const LinearPredictor p = make_path_predictor(
+      f.model->a(), f.model->mu_paths(), sel.representatives);
+  McOptions opt;
+  opt.samples = 500;
+  const GuardbandReport rep = guardband_analysis(
+      *f.model, p, sel.errors.per_path_eps, f.t_cons, psel.epsilon, opt);
+  // Section 6.3: the average guard-band is below the configured tolerance.
+  EXPECT_LE(rep.avg_guardband, psel.epsilon + 1e-12);
+  EXPECT_LE(rep.max_guardband, psel.epsilon + 1e-12);
+  // MC e1 (observed) is below the analytic worst case on average.
+  EXPECT_LE(rep.mc.e1, rep.max_guardband + 0.01);
+}
+
+TEST(Guardband, ZeroGuardbandFlagsOnlyPredictedFails) {
+  Fixture f;
+  const SubsetSelector selector(f.model->a());
+  const auto rep_paths = selector.select(selector.rank());
+  const LinearPredictor p =
+      make_path_predictor(f.model->a(), f.model->mu_paths(), rep_paths);
+  // Exact predictor + zero guard band: flagged == true fails.
+  linalg::Vector zeros(p.remaining.size(), 0.0);
+  McOptions opt;
+  opt.samples = 800;
+  const GuardbandReport rep =
+      guardband_analysis(*f.model, p, zeros, f.t_cons, 0.0, opt);
+  EXPECT_EQ(rep.missed, 0u);
+  EXPECT_EQ(rep.false_alarms, 0u);
+  EXPECT_EQ(rep.flagged, rep.true_fails);
+}
+
+TEST(Guardband, SizeMismatchThrows) {
+  Fixture f;
+  const SubsetSelector selector(f.model->a());
+  const LinearPredictor p = make_path_predictor(
+      f.model->a(), f.model->mu_paths(), selector.select(3));
+  EXPECT_THROW((void)guardband_analysis(*f.model, p, linalg::Vector(2, 0.0),
+                                        f.t_cons, 0.05, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -1,0 +1,161 @@
+#include "core/hybrid_selection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include <memory>
+
+#include "circuit/generator.h"
+#include "circuit/placement.h"
+#include "test_helpers.h"
+#include "timing/segments.h"
+#include "variation/variation_model.h"
+
+namespace repro::core {
+namespace {
+
+struct Fixture {
+  circuit::Netlist nl;
+  circuit::GateLibrary lib;
+  std::unique_ptr<timing::TimingGraph> tg;
+  std::vector<timing::Path> paths;
+  timing::SegmentDecomposition dec;
+  std::unique_ptr<variation::SpatialModel> spatial;
+  std::unique_ptr<variation::VariationModel> model;
+  double t_cons = 0.0;
+
+  explicit Fixture(const std::string& bench, std::size_t max_paths)
+      : nl(circuit::generate_benchmark(bench)) {
+    circuit::place(nl);
+    tg = std::make_unique<timing::TimingGraph>(nl, lib);
+    paths = timing::enumerate_worst_paths(*tg, {.max_paths = max_paths});
+    dec = timing::extract_segments(nl, paths);
+    spatial = std::make_unique<variation::SpatialModel>(3);
+    model = std::make_unique<variation::VariationModel>(*tg, *spatial, paths,
+                                                        dec, variation::VariationOptions{});
+    double worst = 0.0;
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+      worst = std::max(worst, model->mu_paths()[p]);
+    }
+    t_cons = worst;
+  }
+};
+
+TEST(Hybrid, AchievesToleranceAnalytically) {
+  Fixture f("s1196", 150);
+  HybridOptions opt;
+  opt.epsilon = 0.08;
+  const HybridResult r = run_hybrid_selection(
+      f.model->a(), f.model->mu_paths(), f.model->g(), f.model->sigma(),
+      f.model->mu_segments(), f.t_cons, 0.04, opt);
+  EXPECT_LE(r.eps_achieved, opt.epsilon * 1.05);
+  EXPECT_GT(r.exact_rank, 0u);
+}
+
+TEST(Hybrid, MeasurementCountBelowExactRank) {
+  Fixture f("s1196", 200);
+  HybridOptions opt;
+  opt.epsilon = 0.08;
+  const HybridResult r = run_hybrid_selection(
+      f.model->a(), f.model->mu_paths(), f.model->g(), f.model->sigma(),
+      f.model->mu_segments(), f.t_cons, 0.04, opt);
+  // The whole point of the hybrid scheme: fewer measurements than the exact
+  // path selection.
+  EXPECT_LT(r.rep_paths.size() + r.rep_segments.size(), r.exact_rank);
+}
+
+TEST(Hybrid, InvalidEpsPrimeThrows) {
+  Fixture f("s1196", 30);
+  HybridOptions opt;
+  opt.epsilon = 0.08;
+  EXPECT_THROW((void)run_hybrid_selection(f.model->a(), f.model->mu_paths(),
+                                          f.model->g(), f.model->sigma(),
+                                          f.model->mu_segments(), f.t_cons,
+                                          0.08, opt),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_hybrid_selection(f.model->a(), f.model->mu_paths(),
+                                          f.model->g(), f.model->sigma(),
+                                          f.model->mu_segments(), f.t_cons,
+                                          0.0, opt),
+               std::invalid_argument);
+}
+
+TEST(Hybrid, PredictorCoversAllUnmeasuredPaths) {
+  Fixture f("s1196", 120);
+  HybridOptions opt;
+  opt.epsilon = 0.08;
+  const HybridResult r = run_hybrid_selection(
+      f.model->a(), f.model->mu_paths(), f.model->g(), f.model->sigma(),
+      f.model->mu_segments(), f.t_cons, 0.05, opt);
+  EXPECT_EQ(r.predictor.remaining.size() + r.rep_paths.size(),
+            f.paths.size());
+}
+
+TEST(Hybrid, PruningDropsRedundantMeasurements) {
+  Fixture f("s1196", 100);
+  HybridOptions no_prune;
+  no_prune.epsilon = 0.08;
+  no_prune.prune_redundant = false;
+  HybridOptions prune = no_prune;
+  prune.prune_redundant = true;
+  const HybridResult a = run_hybrid_selection(
+      f.model->a(), f.model->mu_paths(), f.model->g(), f.model->sigma(),
+      f.model->mu_segments(), f.t_cons, 0.04, no_prune);
+  const HybridResult b = run_hybrid_selection(
+      f.model->a(), f.model->mu_paths(), f.model->g(), f.model->sigma(),
+      f.model->mu_segments(), f.t_cons, 0.04, prune);
+  EXPECT_LE(b.rep_paths.size() + b.rep_segments.size(),
+            a.rep_paths.size() + a.rep_segments.size());
+  // Pruning must not degrade the achieved error materially.
+  EXPECT_LE(b.eps_achieved, std::max(a.eps_achieved * 1.10, 0.08));
+}
+
+TEST(Hybrid, SweepPicksMinimumCost) {
+  Fixture f("s1196", 120);
+  HybridOptions opt;
+  opt.epsilon = 0.08;
+  const std::vector<double> sweep{0.02, 0.04, 0.06};
+  const HybridResult best = sweep_hybrid_selection(
+      f.model->a(), f.model->mu_paths(), f.model->g(), f.model->sigma(),
+      f.model->mu_segments(), f.t_cons, sweep, opt);
+  for (double ep : sweep) {
+    const HybridResult r = run_hybrid_selection(
+        f.model->a(), f.model->mu_paths(), f.model->g(), f.model->sigma(),
+        f.model->mu_segments(), f.t_cons, ep, opt);
+    EXPECT_LE(best.rep_paths.size() + best.rep_segments.size(),
+              r.rep_paths.size() + r.rep_segments.size());
+  }
+}
+
+TEST(Hybrid, EmptySweepThrows) {
+  Fixture f("s1196", 30);
+  EXPECT_THROW((void)sweep_hybrid_selection(
+                   f.model->a(), f.model->mu_paths(), f.model->g(),
+                   f.model->sigma(), f.model->mu_segments(), f.t_cons, {},
+                   HybridOptions{}),
+               std::invalid_argument);
+}
+
+TEST(Hybrid, Figure1NeedsAtMostThreeMeasurements) {
+  circuit::Netlist nl = test::figure1_netlist();
+  circuit::place(nl);
+  const circuit::GateLibrary lib;
+  const timing::TimingGraph tg(nl, lib);
+  auto paths = timing::enumerate_worst_paths(tg, {.max_paths = 10});
+  const auto dec = timing::extract_segments(nl, paths);
+  const variation::SpatialModel spatial(3);
+  const variation::VariationModel model(tg, spatial, paths, dec, {});
+  double worst = 0.0;
+  for (double mu : model.mu_paths()) worst = std::max(worst, mu);
+  HybridOptions opt;
+  opt.epsilon = 0.08;
+  const HybridResult r = run_hybrid_selection(
+      model.a(), model.mu_paths(), model.g(), model.sigma(),
+      model.mu_segments(), worst, 0.04, opt);
+  EXPECT_LE(r.rep_paths.size() + r.rep_segments.size(), 3u);
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -1,0 +1,93 @@
+#include "linalg/lu.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/gemm.h"
+#include "util/rng.h"
+
+namespace repro::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = rng.normal();
+  }
+  return m;
+}
+
+TEST(Lu, SolveKnownSystem) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  Vector b{3.0, 5.0};
+  const Vector x = lu_solve(lu_factor(a), b);
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Lu, NonSquareThrows) {
+  EXPECT_THROW((void)lu_factor(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Lu, SingularDetected) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  const LuFactors f = lu_factor(a);
+  EXPECT_TRUE(f.singular);
+  EXPECT_THROW((void)lu_solve(f, Vector{1.0, 1.0}), std::runtime_error);
+}
+
+TEST(Lu, ResidualSmallOnRandomSystems) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const std::size_t n = 20 + 7 * seed;
+    const Matrix a = random_matrix(n, seed);
+    util::Rng rng(seed + 100);
+    Vector b(n);
+    for (double& v : b) v = rng.normal();
+    const Vector x = lu_solve(lu_factor(a), b);
+    const Vector ax = matvec(a, x);
+    double resid = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      resid = std::max(resid, std::abs(ax[i] - b[i]));
+    }
+    EXPECT_LT(resid, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const Vector x = lu_solve(lu_factor(a), Vector{2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(Lu, MultiRhsSolve) {
+  const Matrix a = random_matrix(8, 42);
+  const Matrix b = random_matrix(8, 43);
+  const Matrix x = lu_solve(lu_factor(a), b);
+  EXPECT_LT(max_abs_diff(multiply(a, x), b), 1e-10);
+}
+
+TEST(Lu, InverseTimesMatrixIsIdentity) {
+  const Matrix a = random_matrix(12, 5);
+  const Matrix inv = inverse(a);
+  EXPECT_LT(max_abs_diff(multiply(a, inv), Matrix::identity(12)), 1e-9);
+}
+
+TEST(Lu, DeterminantKnownValues) {
+  Matrix a{{2.0, 0.0}, {0.0, 3.0}};
+  EXPECT_NEAR(determinant(a), 6.0, 1e-12);
+  Matrix swap{{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_NEAR(determinant(swap), -1.0, 1e-12);
+  Matrix sing{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(determinant(sing), 0.0);
+}
+
+TEST(Lu, DeterminantMatchesProductRule) {
+  const Matrix a = random_matrix(6, 9);
+  const Matrix b = random_matrix(6, 10);
+  EXPECT_NEAR(determinant(multiply(a, b)), determinant(a) * determinant(b),
+              1e-8 * std::abs(determinant(a) * determinant(b)) + 1e-10);
+}
+
+}  // namespace
+}  // namespace repro::linalg

@@ -1,0 +1,215 @@
+#include "timing/path_enum.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuit/generator.h"
+#include "test_helpers.h"
+#include "timing/sta.h"
+
+namespace repro::timing {
+namespace {
+
+TEST(PathEnum, CountPathsChain) {
+  const circuit::Netlist nl = test::chain_netlist(6);
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  EXPECT_DOUBLE_EQ(count_paths(tg), 1.0);
+}
+
+TEST(PathEnum, CountPathsDiamond) {
+  const circuit::Netlist nl = test::diamond_netlist(7);
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  EXPECT_DOUBLE_EQ(count_paths(tg), 7.0);
+}
+
+TEST(PathEnum, CountPathsFigure1) {
+  const circuit::Netlist nl = test::figure1_netlist();
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  EXPECT_DOUBLE_EQ(count_paths(tg), 4.0);
+}
+
+TEST(PathEnum, EnumeratesAllPathsWhenBudgetAllows) {
+  const circuit::Netlist nl = test::figure1_netlist();
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  const auto paths = enumerate_worst_paths(tg, {.max_paths = 100});
+  EXPECT_EQ(paths.size(), 4u);
+  // All distinct.
+  std::set<std::vector<circuit::GateId>> uniq;
+  for (const Path& p : paths) uniq.insert(p.gates);
+  EXPECT_EQ(uniq.size(), 4u);
+}
+
+TEST(PathEnum, PathsAreValidLaunchToCaptureWalks) {
+  circuit::Netlist nl = circuit::generate_benchmark("s1196");
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  const auto paths = enumerate_worst_paths(tg, {.max_paths = 200});
+  ASSERT_FALSE(paths.empty());
+  for (const Path& p : paths) {
+    ASSERT_GE(p.gates.size(), 2u);
+    EXPECT_EQ(nl.gate(p.gates.front()).type, circuit::GateType::kInput);
+    EXPECT_EQ(nl.gate(p.gates.back()).type, circuit::GateType::kOutput);
+    for (std::size_t i = 0; i + 1 < p.gates.size(); ++i) {
+      const auto& fo = nl.gate(p.gates[i]).fanout;
+      EXPECT_NE(std::find(fo.begin(), fo.end(), p.gates[i + 1]), fo.end());
+    }
+  }
+}
+
+TEST(PathEnum, ScoresNonIncreasing) {
+  circuit::Netlist nl = circuit::generate_benchmark("s1423");
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  const auto paths = enumerate_worst_paths(tg, {.max_paths = 500});
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i - 1].score, paths[i].score - 1e-9);
+  }
+}
+
+TEST(PathEnum, FirstPathIsNominalCriticalAtZeroSigmaWeight) {
+  circuit::Netlist nl = circuit::generate_benchmark("s1196");
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  PathEnumOptions opt;
+  opt.max_paths = 1;
+  opt.sigma_weight = 0.0;
+  const auto paths = enumerate_worst_paths(tg, opt);
+  ASSERT_EQ(paths.size(), 1u);
+  const StaResult sta = run_sta(tg);
+  EXPECT_NEAR(paths.front().score, sta.circuit_delay, 1e-9);
+  EXPECT_NEAR(path_delay_ps(tg, paths.front().gates), sta.circuit_delay,
+              1e-9);
+}
+
+TEST(PathEnum, ScoreEqualsSumOfGateScores) {
+  const circuit::Netlist nl = test::figure1_netlist();
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  PathEnumOptions opt;
+  opt.sigma_weight = 2.0;
+  const auto paths = enumerate_worst_paths(tg, opt);
+  for (const Path& p : paths) {
+    double expect = 0.0;
+    for (circuit::GateId id : p.gates) {
+      expect += tg.gate_delay_ps(id) + 2.0 * tg.gate_sigma_total_ps(id);
+    }
+    EXPECT_NEAR(p.score, expect, 1e-9);
+  }
+}
+
+TEST(PathEnum, MaxPathsRespected) {
+  circuit::Netlist nl = circuit::generate_benchmark("s1423");
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  const auto paths = enumerate_worst_paths(tg, {.max_paths = 37});
+  EXPECT_EQ(paths.size(), 37u);
+}
+
+TEST(PathEnum, PerEndpointBalancesCoverage) {
+  circuit::Netlist nl = circuit::generate_benchmark("s1423");
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  PathEnumOptions opt;
+  opt.max_paths = 790;  // 10 per endpoint for 79 captures
+  const auto global_paths = enumerate_worst_paths(tg, opt);
+  const auto balanced = enumerate_worst_paths_per_endpoint(tg, opt);
+  auto distinct_endpoints = [&](const std::vector<Path>& ps) {
+    std::set<circuit::GateId> eps;
+    for (const Path& p : ps) eps.insert(p.gates.back());
+    return eps.size();
+  };
+  // Global enumeration drowns in the worst cone; the balanced variant must
+  // reach (nearly) every capture point.
+  EXPECT_GT(distinct_endpoints(balanced), distinct_endpoints(global_paths));
+  EXPECT_GE(distinct_endpoints(balanced), nl.outputs().size() / 2);
+}
+
+TEST(PathEnum, PerEndpointScoresSortedAndValid) {
+  circuit::Netlist nl = circuit::generate_benchmark("s1196");
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  const auto paths = enumerate_worst_paths_per_endpoint(tg, {.max_paths = 300});
+  ASSERT_FALSE(paths.empty());
+  EXPECT_LE(paths.size(), 300u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i - 1].score, paths[i].score - 1e-9);
+  }
+  for (const Path& p : paths) {
+    double expect = 0.0;
+    for (circuit::GateId id : p.gates) {
+      expect += tg.gate_delay_ps(id) + 3.0 * tg.gate_sigma_total_ps(id);
+    }
+    EXPECT_NEAR(p.score, expect, 1e-9);
+  }
+}
+
+TEST(PathEnum, CoveragePathsTouchEveryGate) {
+  circuit::Netlist nl = circuit::generate_benchmark("s1196");
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  const auto paths = worst_path_through_each_gate(tg);
+  std::set<circuit::GateId> covered;
+  for (const Path& p : paths) {
+    for (circuit::GateId g : p.gates) covered.insert(g);
+  }
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    const auto id = static_cast<circuit::GateId>(i);
+    if (circuit::is_combinational(nl.gate(id).type)) {
+      EXPECT_TRUE(covered.contains(id)) << nl.gate(id).name;
+    }
+  }
+}
+
+TEST(PathEnum, CoveragePathsAreValidAndDeduplicated) {
+  circuit::Netlist nl = circuit::generate_benchmark("s1423");
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  const auto paths = worst_path_through_each_gate(tg);
+  EXPECT_LE(paths.size(), nl.combinational_count());
+  std::set<std::vector<circuit::GateId>> uniq;
+  for (const Path& p : paths) {
+    EXPECT_EQ(nl.gate(p.gates.front()).type, circuit::GateType::kInput);
+    EXPECT_EQ(nl.gate(p.gates.back()).type, circuit::GateType::kOutput);
+    for (std::size_t i = 0; i + 1 < p.gates.size(); ++i) {
+      const auto& fo = nl.gate(p.gates[i]).fanout;
+      ASSERT_NE(std::find(fo.begin(), fo.end(), p.gates[i + 1]), fo.end());
+    }
+    uniq.insert(p.gates);
+  }
+  EXPECT_EQ(uniq.size(), paths.size());
+}
+
+TEST(PathEnum, CoverageWorstPathMatchesGlobalWorst) {
+  circuit::Netlist nl = circuit::generate_benchmark("s1196");
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  const auto coverage = worst_path_through_each_gate(tg);
+  const auto global_paths = enumerate_worst_paths(tg, {.max_paths = 1});
+  ASSERT_FALSE(coverage.empty());
+  ASSERT_FALSE(global_paths.empty());
+  // The best coverage path is the overall worst path.
+  EXPECT_NEAR(coverage.front().score, global_paths.front().score, 1e-9);
+}
+
+TEST(PathEnum, MinScoreFractionStopsEarly) {
+  circuit::Netlist nl = circuit::generate_benchmark("s1196");
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  PathEnumOptions opt;
+  opt.max_paths = 100000;
+  opt.min_score_fraction = 0.98;
+  const auto paths = enumerate_worst_paths(tg, opt);
+  ASSERT_FALSE(paths.empty());
+  for (const Path& p : paths) {
+    EXPECT_GE(p.score, 0.98 * paths.front().score - 1e-9);
+  }
+  EXPECT_LT(paths.size(), 100000u);
+}
+
+}  // namespace
+}  // namespace repro::timing

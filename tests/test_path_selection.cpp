@@ -1,0 +1,137 @@
+#include "core/path_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/gemm.h"
+#include "util/rng.h"
+
+namespace repro::core {
+namespace {
+
+linalg::Matrix random_matrix(std::size_t r, std::size_t c,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  linalg::Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.normal();
+  }
+  return m;
+}
+
+// Path-like matrix: rows share a few dominant directions plus small
+// idiosyncratic noise, giving a steep singular-value decay like Figure 2(a).
+linalg::Matrix correlated_rows(std::size_t n, std::size_t m, std::size_t k,
+                               double noise, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const linalg::Matrix base = random_matrix(k, m, seed + 1);
+  linalg::Matrix a(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 0; d < k; ++d) {
+      const double w = rng.uniform(0.2, 1.0);
+      linalg::axpy(w, base.row(d), a.row(i));
+    }
+    for (std::size_t j = 0; j < m; ++j) a(i, j) += noise * rng.normal();
+  }
+  return a;
+}
+
+TEST(PathSelection, ExactRankReported) {
+  const linalg::Matrix a =
+      linalg::multiply(random_matrix(20, 5, 1), random_matrix(5, 12, 2));
+  PathSelectionOptions opt;
+  opt.epsilon = 1e-9;  // force exact selection
+  const PathSelectionResult r = select_representative_paths(a, 1000.0, opt);
+  EXPECT_EQ(r.exact_rank, 5u);
+  EXPECT_EQ(r.representatives.size(), 5u);
+  EXPECT_NEAR(r.eps_r, 0.0, 1e-7);
+}
+
+TEST(PathSelection, ToleranceReducesSelectionSize) {
+  const linalg::Matrix a = correlated_rows(60, 40, 4, 0.02, 3);
+  PathSelectionOptions tight;
+  tight.epsilon = 1e-10;
+  PathSelectionOptions loose;
+  loose.epsilon = 0.05;
+  const auto rt = select_representative_paths(a, 1000.0, tight);
+  const auto rl = select_representative_paths(a, 1000.0, loose);
+  EXPECT_LT(rl.representatives.size(), rt.representatives.size());
+  // With strong row correlation the loose selection should be near the
+  // number of dominant directions, far below rank.
+  EXPECT_LE(rl.representatives.size(), 12u);
+}
+
+TEST(PathSelection, AchievedErrorWithinTolerance) {
+  const linalg::Matrix a = correlated_rows(50, 30, 5, 0.05, 4);
+  PathSelectionOptions opt;
+  opt.epsilon = 0.05;
+  const auto r = select_representative_paths(a, 2000.0, opt);
+  EXPECT_LE(r.eps_r, 0.05);
+  // The analytic per-path errors also respect the bound.
+  for (double e : r.errors.per_path_eps) EXPECT_LE(e, 0.05 + 1e-12);
+}
+
+TEST(PathSelection, LinearAndBisectionAgreeOnSize) {
+  const linalg::Matrix a = correlated_rows(40, 25, 4, 0.05, 5);
+  PathSelectionOptions lin;
+  lin.epsilon = 0.04;
+  lin.strategy = SelectionStrategy::kLinearDecrement;
+  PathSelectionOptions bis = lin;
+  bis.strategy = SelectionStrategy::kBisection;
+  const auto rl = select_representative_paths(a, 2000.0, lin);
+  const auto rb = select_representative_paths(a, 2000.0, bis);
+  // The error is monotone to numerical noise; allow 1 path of slack.
+  EXPECT_NEAR(static_cast<double>(rl.representatives.size()),
+              static_cast<double>(rb.representatives.size()), 1.0);
+  EXPECT_LE(rb.eps_r, 0.04);
+  EXPECT_LE(rl.eps_r, 0.04);
+}
+
+TEST(PathSelection, BisectionEvaluatesFewerCandidates) {
+  const linalg::Matrix a = correlated_rows(80, 50, 6, 0.05, 6);
+  PathSelectionOptions lin;
+  lin.epsilon = 0.05;
+  lin.strategy = SelectionStrategy::kLinearDecrement;
+  PathSelectionOptions bis = lin;
+  bis.strategy = SelectionStrategy::kBisection;
+  const auto rl = select_representative_paths(a, 2000.0, lin);
+  const auto rb = select_representative_paths(a, 2000.0, bis);
+  EXPECT_LT(rb.candidates_evaluated, rl.candidates_evaluated);
+}
+
+TEST(PathSelection, HugeToleranceSelectsMinR) {
+  const linalg::Matrix a = random_matrix(20, 15, 7);
+  PathSelectionOptions opt;
+  opt.epsilon = 1e6;
+  const auto r = select_representative_paths(a, 1000.0, opt);
+  EXPECT_EQ(r.representatives.size(), opt.min_r);
+}
+
+TEST(PathSelection, MinRRespected) {
+  const linalg::Matrix a = random_matrix(20, 15, 8);
+  PathSelectionOptions opt;
+  opt.epsilon = 1e6;
+  opt.min_r = 4;
+  const auto r = select_representative_paths(a, 1000.0, opt);
+  EXPECT_EQ(r.representatives.size(), 4u);
+}
+
+TEST(PathSelection, ZeroRankThrows) {
+  PathSelectionOptions opt;
+  EXPECT_THROW(
+      (void)select_representative_paths(linalg::Matrix(5, 5), 100.0, opt),
+      std::invalid_argument);
+}
+
+TEST(PathSelection, PrecomputedGramMatchesInternal) {
+  const linalg::Matrix a = correlated_rows(30, 20, 3, 0.05, 9);
+  const linalg::Matrix w = linalg::gram(a);
+  PathSelectionOptions opt;
+  opt.epsilon = 0.05;
+  const auto r1 = select_representative_paths(a, 1000.0, opt);
+  const auto r2 = select_representative_paths(a, 1000.0, opt, &w);
+  EXPECT_EQ(r1.representatives, r2.representatives);
+  EXPECT_DOUBLE_EQ(r1.eps_r, r2.eps_r);
+}
+
+}  // namespace
+}  // namespace repro::core

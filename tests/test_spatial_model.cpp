@@ -1,0 +1,101 @@
+#include "variation/spatial_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace repro::variation {
+namespace {
+
+TEST(SpatialModel, RegionCountsMatchPaper) {
+  EXPECT_EQ(SpatialModel(3).num_regions(), 21u);   // 1 + 4 + 16
+  EXPECT_EQ(SpatialModel(5).num_regions(), 341u);  // 1 + 4 + 16 + 64 + 256
+  EXPECT_EQ(SpatialModel(1).num_regions(), 1u);
+}
+
+TEST(SpatialModel, RegionsAtLevel) {
+  SpatialModel m(4);
+  EXPECT_EQ(m.regions_at_level(0), 1u);
+  EXPECT_EQ(m.regions_at_level(3), 64u);
+}
+
+TEST(SpatialModel, InvalidConstructionThrows) {
+  EXPECT_THROW(SpatialModel(0), std::invalid_argument);
+  EXPECT_THROW(SpatialModel(2, {1.0}), std::invalid_argument);
+  EXPECT_THROW(SpatialModel(2, {0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(SpatialModel, WeightsNormalized) {
+  SpatialModel m(3, {3.0, 4.0, 12.0});
+  double ss = 0.0;
+  for (int l = 0; l < 3; ++l) ss += m.level_weight(l) * m.level_weight(l);
+  EXPECT_NEAR(ss, 1.0, 1e-12);
+  // Relative magnitudes preserved.
+  EXPECT_NEAR(m.level_weight(1) / m.level_weight(0), 4.0 / 3.0, 1e-12);
+}
+
+TEST(SpatialModel, RegionIndexIdentifiesQuadrants) {
+  SpatialModel m(2);
+  // Level 0 covers everything with region 0.
+  EXPECT_EQ(m.region_index(0, 0.1, 0.9), 0u);
+  EXPECT_EQ(m.region_index(0, 0.9, 0.1), 0u);
+  // Level 1 regions are the 4 quadrants (ids 1..4).
+  const auto q00 = m.region_index(1, 0.25, 0.25);
+  const auto q10 = m.region_index(1, 0.75, 0.25);
+  const auto q01 = m.region_index(1, 0.25, 0.75);
+  const auto q11 = m.region_index(1, 0.75, 0.75);
+  EXPECT_NE(q00, q10);
+  EXPECT_NE(q00, q01);
+  EXPECT_NE(q01, q11);
+  EXPECT_GE(q00, 1u);
+  EXPECT_LE(q11, 4u);
+}
+
+TEST(SpatialModel, PointsOutsideDieThrow) {
+  SpatialModel m(2);
+  EXPECT_THROW((void)m.region_index(0, 1.0, 0.5), std::out_of_range);
+  EXPECT_THROW((void)m.region_index(0, -0.1, 0.5), std::out_of_range);
+  EXPECT_THROW((void)m.region_index(2, 0.5, 0.5), std::out_of_range);
+}
+
+TEST(SpatialModel, CoveringRegionsOnePerLevel) {
+  SpatialModel m(4);
+  const auto regions = m.covering_regions(0.3, 0.6);
+  ASSERT_EQ(regions.size(), 4u);
+  // Region ids strictly increase because each level block starts after the
+  // previous one.
+  for (std::size_t l = 1; l < regions.size(); ++l) {
+    EXPECT_GT(regions[l], regions[l - 1]);
+  }
+}
+
+TEST(SpatialModel, CorrelationStructure) {
+  SpatialModel m(3);
+  // Same point: full correlation.
+  EXPECT_NEAR(m.correlation(0.2, 0.2, 0.2, 0.2), 1.0, 1e-12);
+  // Same level-2 cell: still 1 (all three levels shared).
+  EXPECT_NEAR(m.correlation(0.01, 0.01, 0.02, 0.02), 1.0, 1e-12);
+  // Opposite corners: only the die-level component is shared.
+  const double far = m.correlation(0.01, 0.01, 0.99, 0.99);
+  EXPECT_NEAR(far, 1.0 / 3.0, 1e-12);
+  // Nearby-but-different quadrants share only level 0 too.
+  const double cross = m.correlation(0.49, 0.49, 0.51, 0.51);
+  EXPECT_NEAR(cross, 1.0 / 3.0, 1e-12);
+}
+
+TEST(SpatialModel, CorrelationMonotoneWithProximityOnAverage) {
+  SpatialModel m(4);
+  const double near = m.correlation(0.30, 0.30, 0.31, 0.31);
+  const double far = m.correlation(0.30, 0.30, 0.95, 0.95);
+  EXPECT_GT(near, far);
+}
+
+TEST(SpatialModel, CustomWeightsAffectCorrelation) {
+  // Heavy die-to-die weight makes distant points highly correlated.
+  SpatialModel m(2, {10.0, 1.0});
+  const double far = m.correlation(0.1, 0.1, 0.9, 0.9);
+  EXPECT_GT(far, 0.9);
+}
+
+}  // namespace
+}  // namespace repro::variation

@@ -1,0 +1,159 @@
+#include "timing/ssta.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/generator.h"
+#include "circuit/placement.h"
+#include "core/benchmarks.h"
+#include "test_helpers.h"
+#include "timing/sta.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace repro::timing {
+namespace {
+
+TEST(ClarkMax, DominantInputPassesThrough) {
+  CanonicalForm a;
+  a.mean = 100.0;
+  a.coeffs = {1.0, 0.0};
+  CanonicalForm b;
+  b.mean = 10.0;
+  b.coeffs = {0.0, 1.0};
+  const CanonicalForm m = clark_max(a, b);
+  // A dominates by ~64 sigma: the max is A.
+  EXPECT_NEAR(m.mean, 100.0, 1e-6);
+  EXPECT_NEAR(m.coeffs[0], 1.0, 1e-6);
+  EXPECT_NEAR(m.coeffs[1], 0.0, 1e-6);
+}
+
+TEST(ClarkMax, IdenticalInputsUnchanged) {
+  CanonicalForm a;
+  a.mean = 50.0;
+  a.coeffs = {2.0, 3.0};
+  const CanonicalForm m = clark_max(a, a);
+  EXPECT_DOUBLE_EQ(m.mean, 50.0);
+  EXPECT_DOUBLE_EQ(m.variance(), a.variance());
+}
+
+TEST(ClarkMax, MomentsMatchMonteCarlo) {
+  CanonicalForm a;
+  a.mean = 10.0;
+  a.coeffs = {3.0, 1.0, 0.0};
+  CanonicalForm b;
+  b.mean = 11.0;
+  b.coeffs = {1.5, 0.0, 2.5};  // correlated with a through x0
+  const CanonicalForm m = clark_max(a, b);
+
+  util::Rng rng(5);
+  util::RunningStats rs;
+  for (int s = 0; s < 200000; ++s) {
+    const double x0 = rng.normal(), x1 = rng.normal(), x2 = rng.normal();
+    const double va = 10.0 + 3.0 * x0 + 1.0 * x1;
+    const double vb = 11.0 + 1.5 * x0 + 2.5 * x2;
+    rs.add(std::max(va, vb));
+  }
+  // Clark's mean/variance are exact for the max of two joint Gaussians.
+  EXPECT_NEAR(m.mean, rs.mean(), 0.03);
+  EXPECT_NEAR(m.sigma(), rs.stddev(), 0.03);
+}
+
+TEST(ClarkMax, VarianceConserved) {
+  CanonicalForm a;
+  a.mean = 5.0;
+  a.coeffs = {1.0, 2.0};
+  a.extra_var = 0.5;
+  CanonicalForm b;
+  b.mean = 5.5;
+  b.coeffs = {2.0, -1.0};
+  b.extra_var = 0.25;
+  const CanonicalForm m = clark_max(a, b);
+  // The canonical form's total variance must equal Clark's matched moment:
+  // recompute it from the definition.
+  const double va = a.variance(), vb = b.variance();
+  const double cov = a.covariance(b);
+  const double theta = std::sqrt(va + vb - 2.0 * cov);
+  const double alpha = (a.mean - b.mean) / theta;
+  const double t = util::normal_cdf(alpha);
+  const double phi = std::exp(-0.5 * alpha * alpha) / std::sqrt(2.0 * M_PI);
+  const double mean = a.mean * t + b.mean * (1 - t) + theta * phi;
+  const double e2 = (a.mean * a.mean + va) * t + (b.mean * b.mean + vb) * (1 - t) +
+                    (a.mean + b.mean) * theta * phi;
+  EXPECT_NEAR(m.variance(), e2 - mean * mean, 1e-9);
+}
+
+TEST(Ssta, ChainMatchesAnalyticSum) {
+  // A chain has no max: the circuit delay form is the exact sum of gate
+  // forms, so mean == nominal STA delay and variance == correlated sum.
+  circuit::Netlist nl = test::chain_netlist(10);
+  circuit::place(nl);
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  const variation::SpatialModel spatial(3);
+  const SstaResult r = run_ssta(tg, spatial);
+  const StaResult sta = run_sta(tg);
+  EXPECT_NEAR(r.circuit_delay.mean, sta.circuit_delay, 1e-9);
+  EXPECT_DOUBLE_EQ(r.circuit_delay.extra_var, 0.0);  // no max was taken
+  EXPECT_GT(r.circuit_delay.sigma(), 0.0);
+}
+
+TEST(Ssta, MeanAtLeastNominal) {
+  // E[max] >= max of means: the SSTA mean is above the deterministic delay.
+  circuit::Netlist nl = circuit::generate_benchmark("s1196");
+  circuit::place(nl);
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  const variation::SpatialModel spatial(3);
+  const SstaResult r = run_ssta(tg, spatial);
+  const StaResult sta = run_sta(tg);
+  EXPECT_GE(r.circuit_delay.mean, sta.circuit_delay - 1e-9);
+}
+
+TEST(Ssta, YieldMatchesMonteCarlo) {
+  circuit::Netlist nl = circuit::generate_benchmark("s1196");
+  circuit::place(nl);
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  const variation::SpatialModel spatial(3);
+  const SstaResult r = run_ssta(tg, spatial);
+  const StaResult sta = run_sta(tg);
+  // Compare the Gaussian yield against the exact-sampling estimator used by
+  // the pipeline at a few constraint points.
+  for (double factor : {1.0, 1.03, 1.08}) {
+    const double t_cons = sta.circuit_delay * factor;
+    const double mc = core::estimate_circuit_yield(tg, spatial, t_cons, 4000,
+                                                   1234);
+    EXPECT_NEAR(r.yield(t_cons), mc, 0.06)
+        << "factor " << factor << " ssta " << r.yield(t_cons) << " mc " << mc;
+  }
+}
+
+TEST(Ssta, CaptureStatsPerOutput) {
+  circuit::Netlist nl = test::figure1_netlist();
+  circuit::place(nl);
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  const variation::SpatialModel spatial(3);
+  const SstaResult r = run_ssta(tg, spatial);
+  EXPECT_EQ(r.capture_stats.size(), nl.outputs().size());
+  for (const auto& st : r.capture_stats) {
+    EXPECT_GT(st.mean, 0.0);
+    EXPECT_GT(st.sigma, 0.0);
+  }
+}
+
+TEST(Ssta, RandomScaleIncreasesSigma) {
+  circuit::Netlist nl = circuit::generate_benchmark("s1196");
+  circuit::place(nl);
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  const variation::SpatialModel spatial(3);
+  const SstaResult base = run_ssta(tg, spatial, 1.0);
+  const SstaResult scaled = run_ssta(tg, spatial, 3.0);
+  EXPECT_GT(scaled.circuit_delay.sigma(), base.circuit_delay.sigma());
+}
+
+}  // namespace
+}  // namespace repro::timing

@@ -1,0 +1,96 @@
+#include "timing/sta.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generator.h"
+#include "test_helpers.h"
+
+namespace repro::timing {
+namespace {
+
+TEST(Sta, ChainDelayIsSumOfGates) {
+  const circuit::Netlist nl = test::chain_netlist(8);
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  const StaResult r = run_sta(tg);
+  double expect = 0.0;
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    expect += tg.gate_delay_ps(static_cast<circuit::GateId>(i));
+  }
+  EXPECT_NEAR(r.circuit_delay, expect, 1e-9);
+}
+
+TEST(Sta, CriticalPathEndsAtWorstOutput) {
+  const circuit::Netlist nl = test::figure1_netlist();
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  const StaResult r = run_sta(tg);
+  ASSERT_FALSE(r.critical_path.empty());
+  EXPECT_EQ(nl.gate(r.critical_path.front()).type, circuit::GateType::kInput);
+  EXPECT_EQ(nl.gate(r.critical_path.back()).type, circuit::GateType::kOutput);
+  EXPECT_NEAR(path_delay_ps(tg, r.critical_path), r.circuit_delay, 1e-9);
+}
+
+TEST(Sta, SlackZeroOnCriticalPathAtTightConstraint) {
+  const circuit::Netlist nl = test::figure1_netlist();
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  const StaResult r = run_sta(tg);  // t_constraint = circuit delay
+  for (circuit::GateId id : r.critical_path) {
+    EXPECT_NEAR(r.slack[static_cast<std::size_t>(id)], 0.0, 1e-9);
+  }
+}
+
+TEST(Sta, SlacksNonNegativeAtTightConstraint) {
+  circuit::Netlist nl = circuit::generate_benchmark("s1196");
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  const StaResult r = run_sta(tg);
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    if (!nl.gate(static_cast<circuit::GateId>(i)).fanout.empty() ||
+        nl.gate(static_cast<circuit::GateId>(i)).type ==
+            circuit::GateType::kOutput) {
+      EXPECT_GT(r.slack[i], -1e-9);
+    }
+  }
+}
+
+TEST(Sta, RelaxedConstraintAddsUniformSlack) {
+  const circuit::Netlist nl = test::chain_netlist(5);
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  const StaResult tight = run_sta(tg);
+  const StaResult relaxed = run_sta(tg, tight.circuit_delay + 100.0);
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    EXPECT_NEAR(relaxed.slack[i], tight.slack[i] + 100.0, 1e-9);
+  }
+}
+
+TEST(Sta, ArrivalMonotoneAlongEdges) {
+  circuit::Netlist nl = circuit::generate_benchmark("s1423");
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  const StaResult r = run_sta(tg);
+  for (const circuit::Gate& g : nl.gates()) {
+    const auto gid = *nl.find(g.name);
+    for (circuit::GateId d : g.fanin) {
+      EXPECT_GE(r.arrival[static_cast<std::size_t>(gid)],
+                r.arrival[static_cast<std::size_t>(d)] - 1e-12);
+    }
+  }
+}
+
+TEST(Sta, PathDelayHelperMatchesManualSum) {
+  const circuit::Netlist nl = test::figure1_netlist();
+  const circuit::GateLibrary lib;
+  const TimingGraph tg(nl, lib);
+  std::vector<circuit::GateId> p{*nl.find("pi1"), *nl.find("G1"),
+                                 *nl.find("G3")};
+  EXPECT_NEAR(path_delay_ps(tg, p),
+              tg.gate_delay_ps(*nl.find("G1")) +
+                  tg.gate_delay_ps(*nl.find("G3")),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace repro::timing

@@ -1,0 +1,183 @@
+#include "core/subset_select.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "linalg/gemm.h"
+#include "core/error_model.h"
+#include "linalg/solve.h"
+#include "util/rng.h"
+
+namespace repro::core {
+namespace {
+
+linalg::Matrix random_matrix(std::size_t r, std::size_t c,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  linalg::Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.normal();
+  }
+  return m;
+}
+
+// Low-rank matrix with known rank.
+linalg::Matrix low_rank(std::size_t r, std::size_t c, std::size_t rank,
+                        std::uint64_t seed) {
+  return linalg::multiply(random_matrix(r, rank, seed),
+                          random_matrix(rank, c, seed + 1));
+}
+
+TEST(SubsetSelect, RankMatchesSvd) {
+  const linalg::Matrix a = low_rank(30, 20, 7, 1);
+  const SubsetSelector sel(a);
+  EXPECT_EQ(sel.rank(), 7u);
+  EXPECT_EQ(sel.rank(), linalg::rank(a));
+}
+
+TEST(SubsetSelect, SelectedIndicesValidAndDistinct) {
+  const linalg::Matrix a = random_matrix(25, 10, 2);
+  const SubsetSelector sel(a);
+  for (std::size_t r = 1; r <= sel.rank(); ++r) {
+    const auto idx = sel.select(r);
+    EXPECT_EQ(idx.size(), r);
+    std::set<int> uniq(idx.begin(), idx.end());
+    EXPECT_EQ(uniq.size(), r);
+    for (int i : idx) {
+      EXPECT_GE(i, 0);
+      EXPECT_LT(i, 25);
+    }
+  }
+}
+
+TEST(SubsetSelect, BadRThrows) {
+  const SubsetSelector sel(random_matrix(10, 5, 3));
+  EXPECT_THROW((void)sel.select(0), std::invalid_argument);
+  EXPECT_THROW((void)sel.select(6), std::invalid_argument);
+}
+
+TEST(SubsetSelect, ExactSelectionSpansRowSpace) {
+  // Theorem 1: r = rank(A) selected rows let every other row be written as
+  // their linear combination.
+  const linalg::Matrix a = low_rank(40, 25, 6, 4);
+  const SubsetSelector sel(a);
+  ASSERT_EQ(sel.rank(), 6u);
+  const auto rep = sel.select(6);
+  const linalg::Matrix a_r = a.select_rows(rep);
+  // For each row i: residual of projecting onto span(rows of A_r) must be 0.
+  const linalg::Matrix p = linalg::pseudo_inverse(a_r);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const linalg::Vector coeffs =
+        linalg::matvec(p.transposed(), a.row(i));  // (A_r^T)^+ a_i
+    const linalg::Vector recon = linalg::matvec_transposed(a_r, coeffs);
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_NEAR(recon[j], a(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(SubsetSelect, SelectedRowsAreIndependent) {
+  const linalg::Matrix a = random_matrix(30, 12, 5);
+  const SubsetSelector sel(a);
+  const auto rep = sel.select(sel.rank());
+  EXPECT_EQ(linalg::rank(a.select_rows(rep)), sel.rank());
+}
+
+TEST(SubsetSelect, PivotOrderPrefersDominantRows) {
+  // One row has a huge norm along the dominant direction; it must be the
+  // first pivot.
+  linalg::Matrix a = random_matrix(12, 6, 6);
+  for (std::size_t j = 0; j < 6; ++j) a(4, j) *= 50.0;
+  const SubsetSelector sel(a);
+  const auto rep = sel.select(3);
+  EXPECT_EQ(rep.front(), 4);
+}
+
+TEST(SubsetSelect, DuplicatedRowsNotBothSelected) {
+  linalg::Matrix a = random_matrix(10, 8, 7);
+  a.set_row(3, a.row(2));  // duplicate rows 2 and 3
+  const SubsetSelector sel(a);
+  const auto rep = sel.select(5);
+  const bool has2 = std::count(rep.begin(), rep.end(), 2) > 0;
+  const bool has3 = std::count(rep.begin(), rep.end(), 3) > 0;
+  EXPECT_FALSE(has2 && has3);
+}
+
+TEST(SubsetSelect, GramRouteMatchesSvdRank) {
+  const linalg::Matrix a = low_rank(40, 30, 8, 21);
+  const linalg::Matrix w = linalg::gram(a);
+  const SubsetSelector direct(a);
+  const SubsetSelector via_gram(a, w);
+  EXPECT_EQ(via_gram.rank(), direct.rank());
+  // Singular values agree to Gram precision.
+  for (std::size_t k = 0; k < direct.rank(); ++k) {
+    EXPECT_NEAR(via_gram.singular_values()[k], direct.singular_values()[k],
+                1e-6 * (1.0 + direct.singular_values()[0]));
+  }
+}
+
+TEST(SubsetSelect, GramRouteSelectionSpansSameError) {
+  // The two routes may pick different rows (sign/order freedom in U), but
+  // the induced prediction error must match at every r.
+  const linalg::Matrix a = low_rank(35, 25, 6, 23);
+  const linalg::Matrix w = linalg::gram(a);
+  const SubsetSelector direct(a);
+  const SubsetSelector via_gram(a, w);
+  for (std::size_t r : {2u, 4u, 6u}) {
+    const auto sel_d = direct.select(r);
+    const auto sel_g = via_gram.select(r);
+    const auto err_d = selection_errors_from_gram(w, sel_d, 1000.0, 3.0);
+    const auto err_g = selection_errors_from_gram(w, sel_g, 1000.0, 3.0);
+    EXPECT_NEAR(err_d.eps_r, err_g.eps_r, 0.3 * (err_d.eps_r + 1e-6) + 1e-9);
+  }
+}
+
+TEST(SubsetSelect, GreedySelectValidAndDistinct) {
+  const linalg::Matrix a = random_matrix(30, 18, 25);
+  const SubsetSelector sel(a, linalg::gram(a));
+  const auto rep = sel.select_greedy(10);
+  EXPECT_EQ(rep.size(), 10u);
+  std::set<int> uniq(rep.begin(), rep.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(SubsetSelect, GreedyPrefixesNested) {
+  const linalg::Matrix a = random_matrix(25, 15, 26);
+  const SubsetSelector sel(a, linalg::gram(a));
+  const auto r5 = sel.select_greedy(5);
+  const auto r9 = sel.select_greedy(9);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(r5[i], r9[i]);
+}
+
+TEST(SubsetSelect, GreedyNeedsGramRoute) {
+  const SubsetSelector sel(random_matrix(10, 6, 27));
+  EXPECT_THROW((void)sel.select_greedy(3), std::logic_error);
+}
+
+TEST(SubsetSelect, GreedyErrorComparableToAlg2) {
+  // Greedy is a different heuristic but must be in the same quality class.
+  const linalg::Matrix a = low_rank(60, 40, 10, 28);
+  const linalg::Matrix w = linalg::gram(a);
+  const SubsetSelector sel(a, w);
+  for (std::size_t r : {4u, 8u}) {
+    const auto e_alg2 =
+        selection_errors_from_gram(w, sel.select(r), 1000.0, 3.0);
+    const auto e_greedy =
+        selection_errors_from_gram(w, sel.select_greedy(r), 1000.0, 3.0);
+    EXPECT_LT(e_greedy.eps_r, 5.0 * e_alg2.eps_r + 1e-6);
+  }
+}
+
+TEST(SubsetSelect, ReuseExistingSvd) {
+  const linalg::Matrix a = random_matrix(15, 9, 8);
+  linalg::SvdResult f = linalg::svd(a);
+  const SubsetSelector from_svd(std::move(f), a.rows(), a.cols());
+  const SubsetSelector direct(a);
+  EXPECT_EQ(from_svd.rank(), direct.rank());
+  EXPECT_EQ(from_svd.select(4), direct.select(4));
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -1,0 +1,80 @@
+#include "util/text.h"
+
+#include <gtest/gtest.h>
+
+namespace repro::util {
+namespace {
+
+TEST(Text, Trim) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Text, ToLower) {
+  EXPECT_EQ(to_lower("NaNd2"), "nand2");
+}
+
+TEST(Text, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Text, SplitEmptyString) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Text, StartsWith) {
+  EXPECT_TRUE(starts_with("INPUT(G0)", "INPUT"));
+  EXPECT_FALSE(starts_with("IN", "INPUT"));
+}
+
+TEST(Text, FormatHelpers) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_percent(0.0523, 1), "5.2");
+}
+
+TEST(Text, TableRendersAligned) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+}
+
+TEST(Text, TableCsv) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.render_csv(), "a,b\n1,2\n");
+}
+
+TEST(Text, TableShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  const std::string csv = t.render_csv();
+  EXPECT_EQ(csv, "a,b,c\nonly,,\n");
+}
+
+TEST(Text, ScaleModeDefaults) {
+  // Without REPRO_FAST / REPRO_FULL the mode is 1 (default); with them set
+  // the value changes.  We only check the default here to stay hermetic.
+  unsetenv("REPRO_FAST");
+  unsetenv("REPRO_FULL");
+  EXPECT_EQ(repro_scale_mode(), 1);
+  setenv("REPRO_FAST", "1", 1);
+  EXPECT_EQ(repro_scale_mode(), 0);
+  unsetenv("REPRO_FAST");
+  setenv("REPRO_FULL", "1", 1);
+  EXPECT_EQ(repro_scale_mode(), 2);
+  unsetenv("REPRO_FULL");
+}
+
+}  // namespace
+}  // namespace repro::util
