@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_rcp.dir/bench_baseline_rcp.cpp.o"
+  "CMakeFiles/bench_baseline_rcp.dir/bench_baseline_rcp.cpp.o.d"
+  "bench_baseline_rcp"
+  "bench_baseline_rcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_rcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_singular_values.dir/bench_fig2_singular_values.cpp.o"
+  "CMakeFiles/bench_fig2_singular_values.dir/bench_fig2_singular_values.cpp.o.d"
+  "bench_fig2_singular_values"
+  "bench_fig2_singular_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_singular_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_guardband.dir/bench_guardband.cpp.o"
+  "CMakeFiles/bench_guardband.dir/bench_guardband.cpp.o.d"
+  "bench_guardband"
+  "bench_guardband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_guardband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

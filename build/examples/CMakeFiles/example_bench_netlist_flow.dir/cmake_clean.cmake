@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bench_netlist_flow.dir/bench_netlist_flow.cpp.o"
+  "CMakeFiles/example_bench_netlist_flow.dir/bench_netlist_flow.cpp.o.d"
+  "example_bench_netlist_flow"
+  "example_bench_netlist_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bench_netlist_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_guardband_analysis.dir/guardband_analysis.cpp.o"
+  "CMakeFiles/example_guardband_analysis.dir/guardband_analysis.cpp.o.d"
+  "example_guardband_analysis"
+  "example_guardband_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_guardband_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

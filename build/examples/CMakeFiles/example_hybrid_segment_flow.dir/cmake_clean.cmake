@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hybrid_segment_flow.dir/hybrid_segment_flow.cpp.o"
+  "CMakeFiles/example_hybrid_segment_flow.dir/hybrid_segment_flow.cpp.o.d"
+  "example_hybrid_segment_flow"
+  "example_hybrid_segment_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hybrid_segment_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_path_selection_flow.dir/path_selection_flow.cpp.o"
+  "CMakeFiles/example_path_selection_flow.dir/path_selection_flow.cpp.o.d"
+  "example_path_selection_flow"
+  "example_path_selection_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_path_selection_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

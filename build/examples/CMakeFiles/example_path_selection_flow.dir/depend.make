@@ -1,0 +1,2 @@
+# Empty dependencies file for example_path_selection_flow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/bench_io.cpp" "src/CMakeFiles/repropath.dir/circuit/bench_io.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/circuit/bench_io.cpp.o.d"
+  "/root/repo/src/circuit/gate_library.cpp" "src/CMakeFiles/repropath.dir/circuit/gate_library.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/circuit/gate_library.cpp.o.d"
+  "/root/repo/src/circuit/generator.cpp" "src/CMakeFiles/repropath.dir/circuit/generator.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/circuit/generator.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/CMakeFiles/repropath.dir/circuit/netlist.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/circuit/netlist.cpp.o.d"
+  "/root/repo/src/circuit/placement.cpp" "src/CMakeFiles/repropath.dir/circuit/placement.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/circuit/placement.cpp.o.d"
+  "/root/repo/src/core/baseline_rcp.cpp" "src/CMakeFiles/repropath.dir/core/baseline_rcp.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/core/baseline_rcp.cpp.o.d"
+  "/root/repo/src/core/benchmarks.cpp" "src/CMakeFiles/repropath.dir/core/benchmarks.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/core/benchmarks.cpp.o.d"
+  "/root/repo/src/core/clustering.cpp" "src/CMakeFiles/repropath.dir/core/clustering.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/core/clustering.cpp.o.d"
+  "/root/repo/src/core/diagnosis.cpp" "src/CMakeFiles/repropath.dir/core/diagnosis.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/core/diagnosis.cpp.o.d"
+  "/root/repo/src/core/effective_rank.cpp" "src/CMakeFiles/repropath.dir/core/effective_rank.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/core/effective_rank.cpp.o.d"
+  "/root/repo/src/core/error_model.cpp" "src/CMakeFiles/repropath.dir/core/error_model.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/core/error_model.cpp.o.d"
+  "/root/repo/src/core/group_sparse.cpp" "src/CMakeFiles/repropath.dir/core/group_sparse.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/core/group_sparse.cpp.o.d"
+  "/root/repo/src/core/guardband.cpp" "src/CMakeFiles/repropath.dir/core/guardband.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/core/guardband.cpp.o.d"
+  "/root/repo/src/core/hybrid_selection.cpp" "src/CMakeFiles/repropath.dir/core/hybrid_selection.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/core/hybrid_selection.cpp.o.d"
+  "/root/repo/src/core/monte_carlo.cpp" "src/CMakeFiles/repropath.dir/core/monte_carlo.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/core/monte_carlo.cpp.o.d"
+  "/root/repo/src/core/path_selection.cpp" "src/CMakeFiles/repropath.dir/core/path_selection.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/core/path_selection.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/CMakeFiles/repropath.dir/core/predictor.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/core/predictor.cpp.o.d"
+  "/root/repo/src/core/subset_select.cpp" "src/CMakeFiles/repropath.dir/core/subset_select.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/core/subset_select.cpp.o.d"
+  "/root/repo/src/linalg/cholesky.cpp" "src/CMakeFiles/repropath.dir/linalg/cholesky.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/linalg/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/eigen_sym.cpp" "src/CMakeFiles/repropath.dir/linalg/eigen_sym.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/linalg/eigen_sym.cpp.o.d"
+  "/root/repo/src/linalg/gemm.cpp" "src/CMakeFiles/repropath.dir/linalg/gemm.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/linalg/gemm.cpp.o.d"
+  "/root/repo/src/linalg/lu.cpp" "src/CMakeFiles/repropath.dir/linalg/lu.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/linalg/lu.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/CMakeFiles/repropath.dir/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/linalg/matrix.cpp.o.d"
+  "/root/repo/src/linalg/qr.cpp" "src/CMakeFiles/repropath.dir/linalg/qr.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/linalg/qr.cpp.o.d"
+  "/root/repo/src/linalg/qr_colpivot.cpp" "src/CMakeFiles/repropath.dir/linalg/qr_colpivot.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/linalg/qr_colpivot.cpp.o.d"
+  "/root/repo/src/linalg/randomized_eig.cpp" "src/CMakeFiles/repropath.dir/linalg/randomized_eig.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/linalg/randomized_eig.cpp.o.d"
+  "/root/repo/src/linalg/solve.cpp" "src/CMakeFiles/repropath.dir/linalg/solve.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/linalg/solve.cpp.o.d"
+  "/root/repo/src/linalg/svd.cpp" "src/CMakeFiles/repropath.dir/linalg/svd.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/linalg/svd.cpp.o.d"
+  "/root/repo/src/timing/path_enum.cpp" "src/CMakeFiles/repropath.dir/timing/path_enum.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/timing/path_enum.cpp.o.d"
+  "/root/repo/src/timing/segments.cpp" "src/CMakeFiles/repropath.dir/timing/segments.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/timing/segments.cpp.o.d"
+  "/root/repo/src/timing/sizing.cpp" "src/CMakeFiles/repropath.dir/timing/sizing.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/timing/sizing.cpp.o.d"
+  "/root/repo/src/timing/ssta.cpp" "src/CMakeFiles/repropath.dir/timing/ssta.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/timing/ssta.cpp.o.d"
+  "/root/repo/src/timing/sta.cpp" "src/CMakeFiles/repropath.dir/timing/sta.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/timing/sta.cpp.o.d"
+  "/root/repo/src/timing/timing_graph.cpp" "src/CMakeFiles/repropath.dir/timing/timing_graph.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/timing/timing_graph.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/repropath.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/repropath.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/text.cpp" "src/CMakeFiles/repropath.dir/util/text.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/util/text.cpp.o.d"
+  "/root/repo/src/variation/spatial_model.cpp" "src/CMakeFiles/repropath.dir/variation/spatial_model.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/variation/spatial_model.cpp.o.d"
+  "/root/repo/src/variation/variation_model.cpp" "src/CMakeFiles/repropath.dir/variation/variation_model.cpp.o" "gcc" "src/CMakeFiles/repropath.dir/variation/variation_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

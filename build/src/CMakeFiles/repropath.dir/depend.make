@@ -1,0 +1,2 @@
+# Empty dependencies file for repropath.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_rcp.dir/test_baseline_rcp.cpp.o"
+  "CMakeFiles/test_baseline_rcp.dir/test_baseline_rcp.cpp.o.d"
+  "test_baseline_rcp"
+  "test_baseline_rcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_rcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

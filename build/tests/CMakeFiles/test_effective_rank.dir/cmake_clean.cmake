@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_effective_rank.dir/test_effective_rank.cpp.o"
+  "CMakeFiles/test_effective_rank.dir/test_effective_rank.cpp.o.d"
+  "test_effective_rank"
+  "test_effective_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_effective_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_group_sparse.dir/test_group_sparse.cpp.o"
+  "CMakeFiles/test_group_sparse.dir/test_group_sparse.cpp.o.d"
+  "test_group_sparse"
+  "test_group_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_group_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guardband.dir/test_guardband.cpp.o"
+  "CMakeFiles/test_guardband.dir/test_guardband.cpp.o.d"
+  "test_guardband"
+  "test_guardband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guardband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

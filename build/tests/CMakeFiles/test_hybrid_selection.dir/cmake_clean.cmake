@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_selection.dir/test_hybrid_selection.cpp.o"
+  "CMakeFiles/test_hybrid_selection.dir/test_hybrid_selection.cpp.o.d"
+  "test_hybrid_selection"
+  "test_hybrid_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qr_colpivot.dir/test_qr_colpivot.cpp.o"
+  "CMakeFiles/test_qr_colpivot.dir/test_qr_colpivot.cpp.o.d"
+  "test_qr_colpivot"
+  "test_qr_colpivot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qr_colpivot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

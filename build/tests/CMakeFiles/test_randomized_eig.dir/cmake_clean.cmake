@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_randomized_eig.dir/test_randomized_eig.cpp.o"
+  "CMakeFiles/test_randomized_eig.dir/test_randomized_eig.cpp.o.d"
+  "test_randomized_eig"
+  "test_randomized_eig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_randomized_eig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spatial_model.dir/test_spatial_model.cpp.o"
+  "CMakeFiles/test_spatial_model.dir/test_spatial_model.cpp.o.d"
+  "test_spatial_model"
+  "test_spatial_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spatial_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

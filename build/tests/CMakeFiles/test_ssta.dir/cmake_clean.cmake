@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssta.dir/test_ssta.cpp.o"
+  "CMakeFiles/test_ssta.dir/test_ssta.cpp.o.d"
+  "test_ssta"
+  "test_ssta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subset_select.dir/test_subset_select.cpp.o"
+  "CMakeFiles/test_subset_select.dir/test_subset_select.cpp.o.d"
+  "test_subset_select"
+  "test_subset_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subset_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing_graph.dir/test_timing_graph.cpp.o"
+  "CMakeFiles/test_timing_graph.dir/test_timing_graph.cpp.o.d"
+  "test_timing_graph"
+  "test_timing_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
