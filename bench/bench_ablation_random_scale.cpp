@@ -26,10 +26,17 @@ int main() {
       "===\n\n");
   util::TextTable table({"scale", "|Ptar|", "m", "rank(A)", "effrank(5%)",
                          "|Pr|(eps=5%)", "e1%", "e2%"});
+  // One experiment per scale, built concurrently on the shared pool; the
+  // per-scale analysis below then runs in input order.
+  std::vector<core::ExperimentConfig> cfgs;
   for (double s : scales) {
-    core::ExperimentConfig cfg = core::default_experiment_config(bench);
-    cfg.random_scale = s;
-    const core::Experiment e(cfg);
+    cfgs.push_back(core::default_experiment_config(bench));
+    cfgs.back().random_scale = s;
+  }
+  const auto experiments = core::build_experiments(cfgs);
+  for (std::size_t ei = 0; ei < experiments.size(); ++ei) {
+    const double s = scales[ei];
+    const core::Experiment& e = *experiments[ei];
     const auto& a = e.model().a();
     const linalg::Matrix gram = linalg::gram(a);
     const core::SubsetSelector selector = core::make_subset_selector(a, gram);

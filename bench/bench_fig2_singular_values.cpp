@@ -25,10 +25,7 @@ struct Series {
   std::size_t params;
 };
 
-Series run_config(double random_scale, const char* label) {
-  core::ExperimentConfig cfg = core::default_experiment_config("s1423");
-  cfg.random_scale = random_scale;
-  const core::Experiment e(cfg);
+Series summarize(const core::Experiment& e, const char* label) {
   const linalg::SvdResult f = linalg::svd(e.model().a(), /*want_uv=*/false);
   Series s;
   s.label = label;
@@ -48,8 +45,14 @@ int main() {
   util::Stopwatch sw;
   std::printf("=== Figure 2: normalized singular values of A (s1423) ===\n\n");
 
-  const Series a = run_config(1.0, "fig2a_base");
-  const Series b = run_config(3.0, "fig2b_random_x3");
+  // Both configurations build concurrently on the shared pool.
+  std::vector<core::ExperimentConfig> cfgs(2,
+      core::default_experiment_config("s1423"));
+  cfgs[0].random_scale = 1.0;
+  cfgs[1].random_scale = 3.0;
+  const auto experiments = core::build_experiments(cfgs);
+  const Series a = summarize(*experiments[0], "fig2a_base");
+  const Series b = summarize(*experiments[1], "fig2b_random_x3");
 
   std::printf("config            |Ptar|  m(params)  rank(A)  effrank(5%%)  "
               "effrank(1%%)\n");

@@ -1,17 +1,29 @@
 // Kernel microbenchmarks (google-benchmark): the numerical workhorses behind
 // the selection algorithms — GEMM/Gram, SVD, pivoted QR, symmetric eigen,
-// Cholesky-based error evaluation, and the l1-ball projection.
+// Cholesky-based error evaluation, and the l1-ball projection — plus the
+// execution-layer comparisons (pooled vs spawn-per-call GEMM, pooled
+// Monte-Carlo evaluation across thread counts).
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <thread>
+
+#include "circuit/generator.h"
+#include "circuit/placement.h"
 #include "core/error_model.h"
 #include "core/group_sparse.h"
+#include "core/monte_carlo.h"
+#include "core/path_selection.h"
 #include "core/subset_select.h"
 #include "linalg/cholesky.h"
 #include "linalg/eigen_sym.h"
 #include "linalg/gemm.h"
 #include "linalg/qr_colpivot.h"
 #include "linalg/svd.h"
+#include "timing/segments.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
+#include "variation/variation_model.h"
 
 namespace {
 
@@ -38,6 +50,55 @@ void BM_Gemm(benchmark::State& state) {
                           static_cast<std::int64_t>(2 * n * n * n));
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+// Reference point for the execution-layer change: the pre-pool GEMM spawned
+// a fresh std::thread vector on every call.  Same row partitioning, same
+// inner loops — the delta against BM_Gemm is pure spawn/join overhead.
+linalg::Matrix gemm_spawn_per_call(const linalg::Matrix& a,
+                                   const linalg::Matrix& b,
+                                   std::size_t threads) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  linalg::Matrix c(m, n);
+  auto rows = [&](std::size_t rb, std::size_t re) {
+    for (std::size_t i = rb; i < re; ++i) {
+      double* ci = &c(i, 0);
+      for (std::size_t p = 0; p < k; ++p) {
+        const double aip = a(i, p);
+        if (aip == 0.0) continue;
+        const double* bp = b.row(p).data();
+        for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+      }
+    }
+  };
+  const std::size_t nt = std::min(threads, m);
+  if (nt <= 1) {
+    rows(0, m);
+    return c;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(nt);
+  const std::size_t chunk = (m + nt - 1) / nt;
+  for (std::size_t t = 0; t < nt; ++t) {
+    const std::size_t rb = t * chunk;
+    const std::size_t re = std::min(m, rb + chunk);
+    if (rb >= re) break;
+    workers.emplace_back([&rows, rb, re] { rows(rb, re); });
+  }
+  for (auto& w : workers) w.join();
+  return c;
+}
+
+void BM_GemmSpawnPerCall(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = random_matrix(n, n, 1);
+  const linalg::Matrix b = random_matrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gemm_spawn_per_call(a, b, util::thread_count()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmSpawnPerCall)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_Gram(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -142,6 +203,49 @@ void BM_GroupSparseAdmm(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GroupSparseAdmm)->Arg(16)->Arg(48);
+
+// Pooled Monte-Carlo predictor evaluation at bench_baseline_rcp-scale
+// inputs; Arg = thread count, so the recorded trajectory shows the parallel
+// speedup directly (thread count 1 is the serial reference).  The sampled
+// values are bit-identical across all Args by construction.
+struct McFixture {
+  std::unique_ptr<variation::VariationModel> model;
+  core::LinearPredictor predictor;
+
+  McFixture() {
+    circuit::Netlist nl = circuit::generate_benchmark("s1423");
+    circuit::place(nl);
+    const circuit::GateLibrary lib;
+    const timing::TimingGraph tg(nl, lib);
+    const std::vector<timing::Path> paths =
+        timing::enumerate_worst_paths(tg, {.max_paths = 400});
+    const timing::SegmentDecomposition dec = timing::extract_segments(nl, paths);
+    const variation::SpatialModel spatial(3);
+    model = std::make_unique<variation::VariationModel>(
+        tg, spatial, paths, dec, variation::VariationOptions{});
+    const core::SubsetSelector sel(model->a());
+    predictor = core::make_path_predictor(
+        model->a(), model->mu_paths(),
+        sel.select(std::max<std::size_t>(1, sel.rank() / 4)));
+  }
+};
+
+void BM_MonteCarloEvaluate(benchmark::State& state) {
+  static const McFixture fixture;  // built once, shared across Args
+  const std::size_t saved_threads = util::thread_count();
+  util::set_threads(static_cast<std::size_t>(state.range(0)));
+  core::McOptions opt;
+  opt.samples = 2000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::evaluate_predictor(*fixture.model, fixture.predictor, opt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(opt.samples));
+  util::set_threads(saved_threads);
+}
+BENCHMARK(BM_MonteCarloEvaluate)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -12,6 +12,7 @@
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/text.h"
+#include "util/thread_pool.h"
 
 namespace repro::core {
 namespace {
@@ -103,47 +104,85 @@ double estimate_circuit_yield(const timing::TimingGraph& graph,
                               std::uint64_t seed, double random_scale) {
   const circuit::Netlist& nl = graph.netlist();
   const GlobalParams gp = global_params(graph, spatial);
-  util::Rng rng(seed);
 
-  std::vector<double> leff(gp.num_regions), vt(gp.num_regions);
-  std::vector<double> delay(nl.size()), arrival(nl.size());
+  // Sample s draws from the deterministic stream (seed, s), and the pass
+  // count is an integer sum, so the estimate is bit-identical for any thread
+  // count or chunk partitioning.
+  constexpr std::size_t kChunk = 32;
+  const std::size_t nchunks = (samples + kChunk - 1) / kChunk;
+  std::vector<std::size_t> chunk_pass(nchunks, 0);
+  util::parallel_for(0, nchunks, 1, [&](std::size_t cb, std::size_t ce) {
+    std::vector<double> leff(gp.num_regions), vt(gp.num_regions);
+    std::vector<double> delay(nl.size()), arrival(nl.size());
+    for (std::size_t ci = cb; ci < ce; ++ci) {
+      const std::size_t s0 = ci * kChunk;
+      const std::size_t s1 = std::min(samples, s0 + kChunk);
+      std::size_t pass = 0;
+      for (std::size_t s = s0; s < s1; ++s) {
+        util::Rng rng = util::Rng::stream(seed, s);
+        for (double& v : leff) v = rng.normal();
+        for (double& v : vt) v = rng.normal();
+        for (std::size_t i = 0; i < nl.size(); ++i) {
+          const auto id = static_cast<circuit::GateId>(i);
+          const circuit::Gate& g = nl.gate(id);
+          if (!circuit::is_combinational(g.type)) {
+            delay[i] = 0.0;
+            continue;
+          }
+          const auto& sig = graph.gate_sigmas(id);
+          double dl = 0.0, dv = 0.0;
+          for (int l = 0; l < spatial.levels(); ++l) {
+            const double w = spatial.level_weight(l);
+            dl += w * leff[gp.gate_regions[i][static_cast<std::size_t>(l)]];
+            dv += w * vt[gp.gate_regions[i][static_cast<std::size_t>(l)]];
+          }
+          delay[i] = graph.gate_delay_ps(id) + sig.leff * dl + sig.vt * dv +
+                     sig.random * random_scale * rng.normal();
+        }
+        double worst = 0.0;
+        for (circuit::GateId id : graph.topological_order()) {
+          const circuit::Gate& g = nl.gate(id);
+          double arr = 0.0;
+          for (circuit::GateId d : g.fanin) {
+            arr = std::max(arr, arrival[static_cast<std::size_t>(d)]);
+          }
+          arrival[static_cast<std::size_t>(id)] =
+              arr + delay[static_cast<std::size_t>(id)];
+          if (g.type == circuit::GateType::kOutput) {
+            worst = std::max(worst, arrival[static_cast<std::size_t>(id)]);
+          }
+        }
+        if (worst <= t_cons) ++pass;
+      }
+      chunk_pass[ci] = pass;
+    }
+  });
   std::size_t pass = 0;
-  for (std::size_t s = 0; s < samples; ++s) {
-    for (double& v : leff) v = rng.normal();
-    for (double& v : vt) v = rng.normal();
-    for (std::size_t i = 0; i < nl.size(); ++i) {
-      const auto id = static_cast<circuit::GateId>(i);
-      const circuit::Gate& g = nl.gate(id);
-      if (!circuit::is_combinational(g.type)) {
-        delay[i] = 0.0;
-        continue;
-      }
-      const auto& sig = graph.gate_sigmas(id);
-      double dl = 0.0, dv = 0.0;
-      for (int l = 0; l < spatial.levels(); ++l) {
-        const double w = spatial.level_weight(l);
-        dl += w * leff[gp.gate_regions[i][static_cast<std::size_t>(l)]];
-        dv += w * vt[gp.gate_regions[i][static_cast<std::size_t>(l)]];
-      }
-      delay[i] = graph.gate_delay_ps(id) + sig.leff * dl + sig.vt * dv +
-                 sig.random * random_scale * rng.normal();
-    }
-    double worst = 0.0;
-    for (circuit::GateId id : graph.topological_order()) {
-      const circuit::Gate& g = nl.gate(id);
-      double arr = 0.0;
-      for (circuit::GateId d : g.fanin) {
-        arr = std::max(arr, arrival[static_cast<std::size_t>(d)]);
-      }
-      arrival[static_cast<std::size_t>(id)] =
-          arr + delay[static_cast<std::size_t>(id)];
-      if (g.type == circuit::GateType::kOutput) {
-        worst = std::max(worst, arrival[static_cast<std::size_t>(id)]);
-      }
-    }
-    if (worst <= t_cons) ++pass;
-  }
+  for (std::size_t p : chunk_pass) pass += p;
   return static_cast<double>(pass) / static_cast<double>(samples);
+}
+
+std::vector<std::unique_ptr<Experiment>> build_experiments(
+    const std::vector<ExperimentConfig>& configs) {
+  std::vector<std::unique_ptr<Experiment>> out(configs.size());
+  std::vector<std::future<void>> pending;
+  pending.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    pending.push_back(util::ThreadPool::instance().submit(
+        [&out, &configs, i] { out[i] = std::make_unique<Experiment>(configs[i]); }));
+  }
+  // Wait for everything before rethrowing: the tasks capture `out`/`configs`
+  // by reference, so no future may outlive this frame.
+  std::exception_ptr error;
+  for (auto& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+  return out;
 }
 
 Experiment::Experiment(const ExperimentConfig& config)

@@ -93,9 +93,19 @@ class Experiment {
 ExperimentConfig default_experiment_config(const std::string& benchmark);
 std::size_t default_mc_samples();
 
+// Builds one Experiment per config concurrently through the shared
+// util::ThreadPool (per-circuit sweep fan-out for the table/ablation
+// drivers); results come back in input order and each build is internally
+// deterministic, so the output is independent of the thread count.  The
+// first construction failure is rethrown after all builds finish.
+std::vector<std::unique_ptr<Experiment>> build_experiments(
+    const std::vector<ExperimentConfig>& configs);
+
 // Circuit timing yield P(circuit delay <= t_cons) by sampling correlated
 // gate delays and running a forward arrival pass per sample (exact over all
-// paths, not just enumerated candidates).
+// paths, not just enumerated candidates).  Parallel over sample chunks with
+// one deterministic RNG stream per sample: the returned yield is
+// bit-identical for any thread count.
 double estimate_circuit_yield(const timing::TimingGraph& graph,
                               const variation::SpatialModel& spatial,
                               double t_cons, std::size_t samples,

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "linalg/gemm.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace repro::core {
 
@@ -17,7 +19,6 @@ McMetrics evaluate_predictor(const variation::VariationModel& model,
   const std::size_t n_meas = predictor.mu_meas.size();
   if (n_rem == 0) throw std::invalid_argument("evaluate_predictor: no paths");
 
-  util::Rng rng(options.seed);
   McMetrics out;
   out.eps_max.assign(n_rem, 0.0);
   out.eps_mean.assign(n_rem, 0.0);
@@ -36,36 +37,57 @@ McMetrics evaluate_predictor(const variation::VariationModel& model,
   }
   const linalg::Matrix a_rem_rows = model.a().select_rows(predictor.remaining);
 
-  std::size_t done = 0;
-  while (done < options.samples) {
-    const std::size_t c = std::min(options.chunk, options.samples - done);
-    // Parameter samples for this chunk: m x c, filled sample-by-sample so
-    // the RNG stream (and hence every metric) is independent of the chunk
-    // size.
-    linalg::Matrix x(m, c);
-    for (std::size_t j = 0; j < c; ++j) {
-      for (std::size_t i = 0; i < m; ++i) x(i, j) = rng.normal();
-    }
-    // True delays of the remaining paths and measured quantities.
-    const linalg::Matrix d_true = linalg::multiply(a_rem_rows, x);  // n_rem x c
-    const linalg::Matrix y = linalg::multiply(meas_rows, x);        // n_meas x c
-    // Predictions: coef * y_centered; y here is already centered because the
-    // model means enter both sides additively (d = mu + A x), so
-    // pred_centered = coef * (A_meas x) and error = pred - true uses only
-    // centered values; the relative error denominator needs the full delay.
-    const linalg::Matrix pred = linalg::multiply(predictor.coef, y);
-
-    for (std::size_t i = 0; i < n_rem; ++i) {
-      const double mu_i = predictor.mu_rem[i];
+  // Batch-parallel sampling over fixed-size chunks.  Sample j draws its
+  // normals from util::Rng::stream(seed, j) — a stream that depends only on
+  // the global sample index — so the sampled values are independent of both
+  // the chunk size (a GEMM batching detail) and the thread count.  Each
+  // chunk accumulates into its own slot and the partials are reduced in
+  // chunk order afterwards, which keeps the floating-point summation order
+  // fixed: eps_max / eps_mean / e1 / e2 are bit-identical for 1..N threads.
+  const std::size_t chunk = std::max<std::size_t>(1, options.chunk);
+  const std::size_t nchunks = (options.samples + chunk - 1) / chunk;
+  std::vector<std::vector<double>> part_max(nchunks), part_sum(nchunks);
+  util::parallel_for(0, nchunks, 1, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t ci = cb; ci < ce; ++ci) {
+      const std::size_t s0 = ci * chunk;
+      const std::size_t c = std::min(chunk, options.samples - s0);
+      // Parameter samples for this chunk: m x c, one RNG stream per sample.
+      linalg::Matrix x(m, c);
       for (std::size_t j = 0; j < c; ++j) {
-        const double t = mu_i + d_true(i, j);
-        const double p = mu_i + pred(i, j);
-        const double rel = std::abs(p - t) / std::abs(t);
-        out.eps_max[i] = std::max(out.eps_max[i], rel);
-        out.eps_mean[i] += rel;
+        util::Rng rng = util::Rng::stream(options.seed, s0 + j);
+        for (std::size_t i = 0; i < m; ++i) x(i, j) = rng.normal();
+      }
+      // True delays of the remaining paths and measured quantities.
+      const linalg::Matrix d_true =
+          linalg::multiply(a_rem_rows, x);                        // n_rem x c
+      const linalg::Matrix y = linalg::multiply(meas_rows, x);    // n_meas x c
+      // Predictions: coef * y_centered; y here is already centered because
+      // the model means enter both sides additively (d = mu + A x), so
+      // pred_centered = coef * (A_meas x) and error = pred - true uses only
+      // centered values; the relative error denominator needs the full delay.
+      const linalg::Matrix pred = linalg::multiply(predictor.coef, y);
+
+      std::vector<double>& pmax = part_max[ci];
+      std::vector<double>& psum = part_sum[ci];
+      pmax.assign(n_rem, 0.0);
+      psum.assign(n_rem, 0.0);
+      for (std::size_t i = 0; i < n_rem; ++i) {
+        const double mu_i = predictor.mu_rem[i];
+        for (std::size_t j = 0; j < c; ++j) {
+          const double t = mu_i + d_true(i, j);
+          const double p = mu_i + pred(i, j);
+          const double rel = std::abs(p - t) / std::abs(t);
+          pmax[i] = std::max(pmax[i], rel);
+          psum[i] += rel;
+        }
       }
     }
-    done += c;
+  });
+  for (std::size_t ci = 0; ci < nchunks; ++ci) {
+    for (std::size_t i = 0; i < n_rem; ++i) {
+      out.eps_max[i] = std::max(out.eps_max[i], part_max[ci][i]);
+      out.eps_mean[i] += part_sum[ci][i];
+    }
   }
 
   for (std::size_t i = 0; i < n_rem; ++i) {

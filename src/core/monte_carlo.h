@@ -6,6 +6,12 @@
 //   eps_i     = max_k |pred_i^k - true_i^k| / true_i^k   (per remaining path)
 //   eps-hat_i = mean_k of the same ratio
 //   e1 = mean_i eps_i,   e2 = mean_i eps-hat_i.
+//
+// Sampling runs batch-parallel on the shared util::ThreadPool.  Sample k
+// draws from the deterministic stream util::Rng::stream(seed, k) and the
+// per-chunk partial results are reduced in fixed chunk order, so every
+// metric is bit-identical for any thread count (and any chunk size, up to
+// the reassociation of the eps_mean sums).
 #pragma once
 
 #include <cstdint>
@@ -17,7 +23,9 @@ namespace repro::core {
 
 struct McOptions {
   std::size_t samples = 10000;
-  std::size_t chunk = 256;   // samples per GEMM batch
+  // Samples per GEMM batch; also the unit of work handed to pool threads.
+  // Affects performance only, never the sampled values.
+  std::size_t chunk = 256;
   std::uint64_t seed = 0x5eed;
 };
 

@@ -2,46 +2,33 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <thread>
-#include <vector>
+
+#include "util/thread_pool.h"
 
 namespace repro::linalg {
 namespace {
 
-std::size_t g_threads = [] {
-  const unsigned hc = std::thread::hardware_concurrency();
-  return static_cast<std::size_t>(std::clamp(hc, 1u, 8u));
-}();
-
-// Runs fn(begin, end) over [0, total) split across the configured number of
-// threads.  Falls back to inline execution for small problems where thread
-// startup would dominate.
+// Runs fn(begin, end) over [0, total) through the shared thread pool.  Every
+// output row is computed by exactly one chunk with the same sequential inner
+// loops as the serial path, so results are bit-identical for any thread
+// count.  Falls back to inline execution for small problems where scheduling
+// overhead would dominate.
 template <typename Fn>
 void parallel_rows(std::size_t total, std::size_t flops_per_row, Fn&& fn) {
-  const std::size_t nt =
-      (total * flops_per_row > 4'000'000 && g_threads > 1)
-          ? std::min(g_threads, total)
-          : 1;
-  if (nt <= 1) {
+  const std::size_t nt = util::thread_count();
+  if (total * flops_per_row <= 4'000'000 || nt <= 1 || total <= 1) {
     fn(std::size_t{0}, total);
     return;
   }
-  std::vector<std::thread> workers;
-  workers.reserve(nt);
-  const std::size_t chunk = (total + nt - 1) / nt;
-  for (std::size_t t = 0; t < nt; ++t) {
-    const std::size_t b = t * chunk;
-    const std::size_t e = std::min(total, b + chunk);
-    if (b >= e) break;
-    workers.emplace_back([&fn, b, e] { fn(b, e); });
-  }
-  for (auto& w : workers) w.join();
+  // ~4 chunks per thread for dynamic load balance without per-row overhead.
+  const std::size_t grain = std::max<std::size_t>(1, total / (4 * nt));
+  util::parallel_for(0, total, grain, fn);
 }
 
 }  // namespace
 
-void set_gemm_threads(std::size_t n) { g_threads = std::max<std::size_t>(1, n); }
-std::size_t gemm_threads() { return g_threads; }
+void set_gemm_threads(std::size_t n) { util::set_threads(n); }
+std::size_t gemm_threads() { return util::thread_count(); }
 
 Matrix multiply(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows()) {

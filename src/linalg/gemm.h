@@ -25,8 +25,9 @@ Matrix gram(const Matrix& a);
 // A^T * A
 Matrix gram_t(const Matrix& a);
 
-// Number of worker threads used for large products (set once at startup,
-// defaults to hardware_concurrency capped at 8).
+// Thread configuration for large products.  Kernels run on the shared
+// util::ThreadPool; these forward to util::set_threads / util::thread_count
+// and are kept for source compatibility — prefer the util API directly.
 void set_gemm_threads(std::size_t n);
 std::size_t gemm_threads();
 

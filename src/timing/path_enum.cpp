@@ -4,6 +4,8 @@
 #include <queue>
 #include <unordered_set>
 
+#include "util/thread_pool.h"
+
 namespace repro::timing {
 namespace {
 
@@ -139,15 +141,22 @@ std::vector<Path> enumerate_worst_paths_per_endpoint(
   const std::size_t quota = std::max(
       min_quota, options.max_paths / std::max<std::size_t>(outputs.size(), 1));
 
+  // Every endpoint's cone is enumerated independently, so fan the per-sink
+  // searches out over the shared pool and merge in endpoint order — the
+  // result is identical to the serial loop for any thread count.
+  std::vector<std::vector<Path>> per_endpoint(outputs.size());
+  util::parallel_for(0, outputs.size(), 1, [&](std::size_t b, std::size_t e) {
+    std::vector<char> is_sink(nl.size(), 0);
+    for (std::size_t k = b; k < e; ++k) {
+      std::fill(is_sink.begin(), is_sink.end(), 0);
+      is_sink[static_cast<std::size_t>(outputs[k])] = 1;
+      const std::vector<double> suffix = suffix_bounds(graph, score, is_sink);
+      per_endpoint[k] = best_first(graph, score, suffix, is_sink, quota,
+                                   options.min_score_fraction);
+    }
+  });
   std::vector<Path> all;
-  std::vector<char> is_sink(nl.size(), 0);
-  for (circuit::GateId o : outputs) {
-    std::fill(is_sink.begin(), is_sink.end(), 0);
-    is_sink[static_cast<std::size_t>(o)] = 1;
-    const std::vector<double> suffix = suffix_bounds(graph, score, is_sink);
-    std::vector<Path> paths =
-        best_first(graph, score, suffix, is_sink, quota,
-                   options.min_score_fraction);
+  for (std::vector<Path>& paths : per_endpoint) {
     all.insert(all.end(), std::make_move_iterator(paths.begin()),
                std::make_move_iterator(paths.end()));
   }

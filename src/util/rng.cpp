@@ -98,4 +98,16 @@ void Rng::shuffle(std::vector<int>& v) {
 
 Rng Rng::fork() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t index) {
+  // Decorrelate the seed, then mix the stream index through an odd-constant
+  // multiply (a bijection on u64) before expanding to the xoshiro state, so
+  // neighbouring indices land in unrelated states.
+  std::uint64_t sm = seed;
+  const std::uint64_t base = splitmix64(sm);
+  std::uint64_t sm2 = base ^ ((index + 1) * 0x9e3779b97f4a7c15ULL);
+  Rng r(0);
+  for (auto& s : r.s_) s = splitmix64(sm2);
+  return r;
+}
+
 }  // namespace repro::util

@@ -40,6 +40,14 @@ class Rng {
   // its own generator without correlated streams).
   Rng fork();
 
+  // Deterministic independent stream derived from (seed, index): stream(s, i)
+  // depends only on its arguments, never on generator state or call order.
+  // This is the substrate for reproducible parallel sampling — each work
+  // chunk (Monte-Carlo sample, yield-estimation draw) derives its own stream
+  // from its global index, so results are bit-identical for any thread count
+  // and any chunk partitioning.
+  static Rng stream(std::uint64_t seed, std::uint64_t index);
+
  private:
   std::uint64_t s_[4];
   bool has_cached_normal_ = false;

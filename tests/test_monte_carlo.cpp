@@ -11,6 +11,7 @@
 #include "circuit/placement.h"
 #include "core/path_selection.h"
 #include "timing/segments.h"
+#include "util/thread_pool.h"
 #include "variation/variation_model.h"
 
 namespace repro::core {
@@ -102,6 +103,36 @@ TEST(MonteCarlo, ChunkSizeDoesNotChangeResult) {
   const McMetrics mb = evaluate_predictor(*f.model, p, b);
   EXPECT_NEAR(ma.e1, mb.e1, 1e-12);
   EXPECT_NEAR(ma.e2, mb.e2, 1e-12);
+}
+
+TEST(MonteCarlo, BitIdenticalAcrossThreadCounts) {
+  Fixture f;
+  const SubsetSelector sel(f.model->a());
+  const auto rep = sel.select(5);
+  const LinearPredictor p =
+      make_path_predictor(f.model->a(), f.model->mu_paths(), rep);
+  McOptions opt;
+  opt.samples = 512;
+  opt.chunk = 64;
+  opt.seed = 123;
+  const std::size_t saved_threads = util::thread_count();
+  std::vector<McMetrics> runs;
+  for (std::size_t nt : {1u, 4u, 8u}) {
+    util::set_threads(nt);
+    runs.push_back(evaluate_predictor(*f.model, p, opt));
+  }
+  util::set_threads(saved_threads);
+  for (std::size_t k = 1; k < runs.size(); ++k) {
+    // Exact double equality: parallel sampling must be bit-identical.
+    EXPECT_EQ(runs[0].e1, runs[k].e1);
+    EXPECT_EQ(runs[0].e2, runs[k].e2);
+    EXPECT_EQ(runs[0].worst_eps, runs[k].worst_eps);
+    ASSERT_EQ(runs[0].eps_max.size(), runs[k].eps_max.size());
+    for (std::size_t i = 0; i < runs[0].eps_max.size(); ++i) {
+      EXPECT_EQ(runs[0].eps_max[i], runs[k].eps_max[i]);
+      EXPECT_EQ(runs[0].eps_mean[i], runs[k].eps_mean[i]);
+    }
+  }
 }
 
 TEST(MonteCarlo, MoreRepresentativesLowerError) {
