@@ -1,8 +1,10 @@
 #include "circuit/bench_io.h"
 
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "util/text.h"
@@ -17,12 +19,13 @@ struct ParsedLine {
   std::vector<std::string> args;  // fanin signal names
 };
 
-// Parses one nonempty, non-comment line.
-ParsedLine parse_line(const std::string& raw, int lineno) {
+// Parses one nonempty, non-comment line; on failure fills *error and returns
+// false so the caller can record a diagnostic and keep going.
+bool parse_line(const std::string& raw, ParsedLine* out, std::string* error) {
   const std::string line = util::trim(raw);
-  auto fail = [&](const std::string& msg) -> ParsedLine {
-    throw std::runtime_error("bench line " + std::to_string(lineno) + ": " +
-                             msg + ": " + line);
+  auto fail = [&](const std::string& msg) {
+    *error = msg + ": " + line;
+    return false;
   };
 
   const auto open = line.find('(');
@@ -36,8 +39,14 @@ ParsedLine parse_line(const std::string& raw, int lineno) {
     const std::string head = util::to_lower(util::trim(line.substr(0, open)));
     const std::string arg = util::trim(line.substr(open + 1, close - open - 1));
     if (arg.empty()) return fail("empty signal name");
-    if (head == "input") return {ParsedLine::Kind::kInput, arg, {}, {}};
-    if (head == "output") return {ParsedLine::Kind::kOutput, arg, {}, {}};
+    if (head == "input") {
+      *out = {ParsedLine::Kind::kInput, arg, {}, {}};
+      return true;
+    }
+    if (head == "output") {
+      *out = {ParsedLine::Kind::kOutput, arg, {}, {}};
+      return true;
+    }
     return fail("unknown declaration");
   }
 
@@ -50,9 +59,9 @@ ParsedLine parse_line(const std::string& raw, int lineno) {
     return fail("malformed assignment");
   }
   const std::string func = util::trim(line.substr(eq + 1, fopen - eq - 1));
-  ParsedLine out{ParsedLine::Kind::kAssign, target, GateType::kBuf, {}};
+  *out = {ParsedLine::Kind::kAssign, target, GateType::kBuf, {}};
   try {
-    out.type = gate_type_from_name(func);
+    out->type = gate_type_from_name(func);
   } catch (const std::exception&) {
     return fail("unknown gate function '" + func + "'");
   }
@@ -60,80 +69,121 @@ ParsedLine parse_line(const std::string& raw, int lineno) {
        util::split(line.substr(fopen + 1, fclose - fopen - 1), ',')) {
     const std::string arg = util::trim(piece);
     if (arg.empty()) return fail("empty fanin name");
-    out.args.push_back(arg);
+    out->args.push_back(arg);
   }
-  if (out.args.empty()) return fail("gate with no fanin");
-  if (out.type == GateType::kDff && out.args.size() != 1) {
+  if (out->args.empty()) return fail("gate with no fanin");
+  if (out->type == GateType::kDff && out->args.size() != 1) {
     return fail("DFF must have exactly one input");
   }
-  if ((out.type == GateType::kNot || out.type == GateType::kBuf) &&
-      out.args.size() != 1) {
+  if ((out->type == GateType::kNot || out->type == GateType::kBuf) &&
+      out->args.size() != 1) {
     return fail("single-input gate with multiple fanins");
   }
-  return out;
+  return true;
 }
 
 }  // namespace
 
-Netlist read_bench(std::istream& in, std::string name) {
-  std::vector<ParsedLine> lines;
+BenchParseResult parse_bench(std::istream& in, std::string name) {
+  BenchParseResult res;
+  res.netlist = Netlist(std::move(name));
+  Netlist& nl = res.netlist;
+  auto diag = [&](int line, std::string msg) {
+    res.diagnostics.push_back({line, std::move(msg)});
+  };
+
+  std::vector<std::pair<int, ParsedLine>> lines;
   std::string raw;
   int lineno = 0;
   while (std::getline(in, raw)) {
     ++lineno;
     const std::string t = util::trim(raw);
     if (t.empty() || t[0] == '#') continue;
-    lines.push_back(parse_line(t, lineno));
-  }
-
-  Netlist nl(std::move(name));
-  // Pass 1: create driver gates for every signal.
-  for (const ParsedLine& pl : lines) {
-    switch (pl.kind) {
-      case ParsedLine::Kind::kInput:
-        nl.add_gate(pl.target, GateType::kInput);
-        break;
-      case ParsedLine::Kind::kAssign:
-        if (pl.type == GateType::kDff) {
-          // Q pin: a launch point carrying the signal name.
-          nl.add_gate(pl.target, GateType::kInput);
-        } else {
-          nl.add_gate(pl.target, pl.type);
-        }
-        break;
-      case ParsedLine::Kind::kOutput:
-        break;  // handled in pass 2
+    ParsedLine pl;
+    std::string error;
+    if (parse_line(t, &pl, &error)) {
+      lines.emplace_back(lineno, std::move(pl));
+    } else {
+      diag(lineno, std::move(error));
     }
   }
+
+  // Pass 1: create driver gates for every signal; duplicate definitions keep
+  // the first occurrence.
+  std::vector<char> applied(lines.size(), 1);
+  for (std::size_t k = 0; k < lines.size(); ++k) {
+    const auto& [line, pl] = lines[k];
+    if (pl.kind == ParsedLine::Kind::kOutput) continue;  // wired in pass 2
+    if (nl.find(pl.target)) {
+      diag(line, "duplicate signal '" + pl.target + "'");
+      applied[k] = 0;
+      continue;
+    }
+    // A DFF's Q pin is a launch point carrying the signal name.
+    const GateType type =
+        (pl.kind == ParsedLine::Kind::kInput || pl.type == GateType::kDff)
+            ? GateType::kInput
+            : pl.type;
+    nl.add_gate(pl.target, type);
+  }
   // Pass 2: connect fanins; create capture gates for POs and DFF D-pins.
-  auto resolve = [&](const std::string& sig) -> GateId {
+  // Unresolvable signals skip just the affected connection.
+  auto resolve = [&](int line, const std::string& sig)
+      -> std::optional<GateId> {
     const auto id = nl.find(sig);
-    if (!id) throw std::runtime_error("bench: undefined signal '" + sig + "'");
-    return *id;
+    if (!id) diag(line, "undefined signal '" + sig + "'");
+    return id;
   };
-  for (const ParsedLine& pl : lines) {
+  for (std::size_t k = 0; k < lines.size(); ++k) {
+    const auto& [line, pl] = lines[k];
+    if (!applied[k]) continue;
     switch (pl.kind) {
       case ParsedLine::Kind::kInput:
         break;
       case ParsedLine::Kind::kOutput: {
-        const GateId po = nl.add_gate(pl.target + "$po", GateType::kOutput);
-        nl.connect(resolve(pl.target), po);
+        const std::string cap = pl.target + "$po";
+        if (nl.find(cap)) {
+          diag(line, "duplicate output declaration '" + pl.target + "'");
+          break;
+        }
+        if (const auto driver = resolve(line, pl.target)) {
+          nl.connect(*driver, nl.add_gate(cap, GateType::kOutput));
+        }
         break;
       }
       case ParsedLine::Kind::kAssign:
         if (pl.type == GateType::kDff) {
-          const GateId d = nl.add_gate(pl.target + "$d", GateType::kOutput);
-          nl.connect(resolve(pl.args.front()), d);
+          if (const auto driver = resolve(line, pl.args.front())) {
+            nl.connect(*driver,
+                       nl.add_gate(pl.target + "$d", GateType::kOutput));
+          }
         } else {
-          const GateId sink = resolve(pl.target);
+          const auto sink = nl.find(pl.target);
           for (const std::string& arg : pl.args) {
-            nl.connect(resolve(arg), sink);
+            if (const auto driver = resolve(line, arg)) {
+              nl.connect(*driver, *sink);
+            }
           }
         }
         break;
     }
   }
-  return nl;
+  return res;
+}
+
+BenchParseResult parse_bench_string(const std::string& text, std::string name) {
+  std::istringstream in(text);
+  return parse_bench(in, std::move(name));
+}
+
+Netlist read_bench(std::istream& in, std::string name) {
+  BenchParseResult res = parse_bench(in, std::move(name));
+  if (!res.ok()) {
+    const BenchDiagnostic& d = res.diagnostics.front();
+    throw std::runtime_error("bench line " + std::to_string(d.line) + ": " +
+                             d.message);
+  }
+  return std::move(res.netlist);
 }
 
 Netlist read_bench_string(const std::string& text, std::string name) {

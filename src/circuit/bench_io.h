@@ -19,11 +19,37 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "circuit/netlist.h"
 
 namespace repro::circuit {
 
+// One recoverable parse problem, tagged with its 1-based source line
+// (line 0 = file-level problems discovered while wiring, e.g. an OUTPUT
+// declaration whose signal is never defined).
+struct BenchDiagnostic {
+  int line = 0;
+  std::string message;
+};
+
+// Recoverable parse: malformed lines, unknown gate functions, duplicate or
+// undefined signals become line-numbered diagnostics instead of exceptions;
+// the offending line/connection is skipped and parsing continues, so a
+// truncated or partially garbled .bench still yields the valid part of the
+// netlist.  `ok()` means the input parsed cleanly.
+struct BenchParseResult {
+  Netlist netlist{"bench"};
+  std::vector<BenchDiagnostic> diagnostics;
+  bool ok() const { return diagnostics.empty(); }
+};
+
+BenchParseResult parse_bench(std::istream& in, std::string name = "bench");
+BenchParseResult parse_bench_string(const std::string& text,
+                                    std::string name = "bench");
+
+// Throwing wrappers (compatibility): std::runtime_error on the first
+// diagnostic, formatted as "bench line N: message".
 Netlist read_bench(std::istream& in, std::string name = "bench");
 Netlist read_bench_string(const std::string& text, std::string name = "bench");
 Netlist read_bench_file(const std::string& path);

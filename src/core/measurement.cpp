@@ -1,0 +1,90 @@
+#include "core/measurement.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace repro::core {
+
+bool FaultSpec::clean() const {
+  return noise_sigma_frac == 0.0 && noise_sigma_ps == 0.0 &&
+         quantization_ps == 0.0 && outlier_rate == 0.0 &&
+         dropout_rate == 0.0 && dead_slots.empty();
+}
+
+FaultSpec default_fault_spec() {
+  FaultSpec spec;
+  spec.noise_sigma_frac = 0.01;
+  spec.outlier_rate = 0.05;
+  spec.outlier_scale = 10.0;
+  spec.dead_slots = {0};
+  return spec;
+}
+
+FaultSpec without_dead_slots(FaultSpec spec) {
+  spec.dead_slots.clear();
+  return spec;
+}
+
+double expected_noise_sigma(const FaultSpec& spec,
+                            std::span<const double> nominal) {
+  if (nominal.empty()) return spec.noise_sigma_ps;
+  double mean_abs = 0.0;
+  for (double v : nominal) mean_abs += std::abs(v);
+  mean_abs /= static_cast<double>(nominal.size());
+  return spec.noise_sigma_ps + spec.noise_sigma_frac * mean_abs;
+}
+
+NoisyMeasurements apply_faults(std::span<const double> clean,
+                               std::span<const double> nominal,
+                               const FaultSpec& spec, std::uint64_t die) {
+  if (clean.size() != nominal.size()) {
+    throw std::invalid_argument("apply_faults: clean/nominal size mismatch");
+  }
+  const std::size_t n = clean.size();
+  NoisyMeasurements out;
+  out.values.assign(clean.begin(), clean.end());
+  out.valid.assign(n, 1);
+  for (int s : spec.dead_slots) {
+    if (s >= 0 && static_cast<std::size_t>(s) < n) {
+      out.valid[static_cast<std::size_t>(s)] = 0;
+    }
+  }
+
+  // One stream per die; every slot consumes the same number of deviates in
+  // the same order regardless of which faults trigger, so the schedule of
+  // slot i on die k is a pure function of (spec.seed, k, i).
+  util::Rng rng = util::Rng::stream(spec.seed, die);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u_drop = rng.uniform();
+    const double u_outlier = rng.uniform();
+    const double z = rng.normal();
+    if (!out.valid[i]) {
+      out.values[i] = nominal[i];
+      ++out.dropped;
+      continue;
+    }
+    if (u_drop < spec.dropout_rate) {
+      out.valid[i] = 0;
+      out.values[i] = nominal[i];
+      ++out.dropped;
+      continue;
+    }
+    const double sigma =
+        spec.noise_sigma_ps + spec.noise_sigma_frac * std::abs(nominal[i]);
+    double noise = z * sigma;
+    if (u_outlier < spec.outlier_rate) {
+      noise *= spec.outlier_scale;
+      ++out.outliers;
+    }
+    double v = clean[i] + noise;
+    if (spec.quantization_ps > 0.0) {
+      v = std::round(v / spec.quantization_ps) * spec.quantization_ps;
+    }
+    out.values[i] = v;
+  }
+  return out;
+}
+
+}  // namespace repro::core

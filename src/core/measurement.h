@@ -1,0 +1,81 @@
+// Deterministic model of imperfect post-silicon delay measurement.
+//
+// The paper's predictor (Eqn 5) assumes representative-path delays are read
+// off silicon exactly.  Real delay test hardware gives noisy, quantized and
+// occasionally absurd numbers, and some paths simply cannot be sensitized on
+// a given die (EffiTest-style limited test access).  This module injects
+// those faults into the clean "silicon" delays produced by the linear model:
+//
+//   * additive Gaussian sensor noise, sigma per slot = noise_sigma_ps +
+//     noise_sigma_frac * |nominal slot delay|;
+//   * heavy-tailed outliers: with probability outlier_rate the noise deviate
+//     is scaled by outlier_scale (a Gaussian mixture, heavy-tailed across
+//     the die population);
+//   * tester quantization to a quantization_ps LSB;
+//   * dropped measurements: slots listed in dead_slots are unmeasurable on
+//     every die; every other slot independently drops out with probability
+//     dropout_rate per die.
+//
+// Reproducibility contract: the fault schedule for die k is drawn from
+// util::Rng::stream(spec.seed, k) in fixed slot order, so it depends only on
+// (spec, die index) — never on thread count, chunking or call order.  This
+// extends the PR-1 bit-identical parallel Monte-Carlo guarantee to the
+// fault-injected protocol.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace repro::core {
+
+struct FaultSpec {
+  double noise_sigma_frac = 0.0;  // Gaussian noise, fraction of |nominal|
+  double noise_sigma_ps = 0.0;    // additive Gaussian noise floor (ps)
+  double quantization_ps = 0.0;   // tester LSB; 0 = no quantization
+  double outlier_rate = 0.0;      // per-slot probability of an outlier
+  double outlier_scale = 10.0;    // outlier noise multiplier
+  double dropout_rate = 0.0;      // per-slot per-die dropout probability
+  std::vector<int> dead_slots;    // slots unmeasurable on every die
+  std::uint64_t seed = 0xFA17;    // fault-schedule seed (independent of MC)
+
+  // True when no fault mechanism is active (the clean-measurement paper
+  // protocol).
+  bool clean() const;
+};
+
+// The default noisy-silicon regime used by bench_robustness and the
+// acceptance test: 1% of nominal Gaussian sensor noise, 5% outliers at 10x
+// the noise sigma, and the first (most informative) representative slot dead.
+FaultSpec default_fault_spec();
+
+// Copy of `spec` with dead_slots cleared.  Used when evaluating a predictor
+// that was already rebuilt without the dead paths (graceful degradation):
+// its measurement vector no longer contains the dead slots, so the schedule
+// must not kill a surviving slot by position.
+FaultSpec without_dead_slots(FaultSpec spec);
+
+// Expected per-slot noise sigma (ps) under `spec`, averaged over the nominal
+// slot delays; feeds RobustOptions::measurement_sigma_ps so the IRLS
+// calibration knows the sensor noise scale.
+double expected_noise_sigma(const FaultSpec& spec,
+                            std::span<const double> nominal);
+
+struct NoisyMeasurements {
+  linalg::Vector values;    // faulted measurements; invalid slots hold nominal
+  std::vector<char> valid;  // 0 = dropped/unmeasurable on this die
+  int outliers = 0;         // slots that drew the outlier mixture component
+  int dropped = 0;          // slots invalid on this die (dead + dropout)
+};
+
+// Applies the fault schedule for die `die` to the clean measurements.
+// `clean` are the exact silicon delays of the measured slots; `nominal` the
+// corresponding nominal (mean) delays, used both to scale the relative noise
+// and as the placeholder value of invalid slots.
+NoisyMeasurements apply_faults(std::span<const double> clean,
+                               std::span<const double> nominal,
+                               const FaultSpec& spec, std::uint64_t die);
+
+}  // namespace repro::core

@@ -102,4 +102,116 @@ McMetrics evaluate_predictor(const variation::VariationModel& model,
   return out;
 }
 
+FaultyMcMetrics evaluate_predictor_under_faults(
+    const variation::VariationModel& model, const RobustPredictor& predictor,
+    const FaultyMcOptions& options) {
+  const std::size_t m = model.num_params();
+  const std::size_t n_rem = predictor.base.remaining.size();
+  const std::size_t n_meas = predictor.base.mu_meas.size();
+  FaultyMcMetrics out;
+  out.metrics.samples = options.mc.samples;
+  out.metrics.eps_max.assign(n_rem, 0.0);
+  out.metrics.eps_mean.assign(n_rem, 0.0);
+  if (!predictor.status.usable()) {
+    // Defined degradation, not a throw: every die is a nominal-fallback die.
+    // Checked before n_rem: a failed construction leaves `remaining` empty.
+    out.failed_dies = options.mc.samples;
+    return out;
+  }
+  if (options.mc.samples == 0 || n_rem == 0) return out;
+
+  // Same chunked-deterministic scheme as evaluate_predictor: per-die streams
+  // for both the parameter sample and the fault schedule, per-chunk partial
+  // slots reduced in fixed chunk order.
+  const std::size_t chunk = std::max<std::size_t>(1, options.mc.chunk);
+  const std::size_t nchunks = (options.mc.samples + chunk - 1) / chunk;
+  std::vector<std::vector<double>> part_max(nchunks), part_sum(nchunks);
+  struct Counters {
+    std::size_t failed = 0;
+    std::size_t screened = 0;
+    std::size_t missing = 0;
+    std::size_t outliers = 0;
+  };
+  std::vector<Counters> part_cnt(nchunks);
+  util::parallel_for(0, nchunks, 1, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t ci = cb; ci < ce; ++ci) {
+      const std::size_t s0 = ci * chunk;
+      const std::size_t c = std::min(chunk, options.mc.samples - s0);
+      linalg::Matrix x(m, c);
+      for (std::size_t j = 0; j < c; ++j) {
+        util::Rng rng = util::Rng::stream(options.mc.seed, s0 + j);
+        for (std::size_t i = 0; i < m; ++i) x(i, j) = rng.normal();
+      }
+      const linalg::Matrix d_true =
+          linalg::multiply(predictor.a_rem, x);                    // n_rem x c
+      const linalg::Matrix y = linalg::multiply(predictor.a_meas, x);
+
+      std::vector<double>& pmax = part_max[ci];
+      std::vector<double>& psum = part_sum[ci];
+      Counters& cnt = part_cnt[ci];
+      pmax.assign(n_rem, 0.0);
+      psum.assign(n_rem, 0.0);
+      linalg::Vector clean(n_meas), pred(n_rem);
+      for (std::size_t j = 0; j < c; ++j) {
+        for (std::size_t i = 0; i < n_meas; ++i) {
+          clean[i] = predictor.base.mu_meas[i] + y(i, j);
+        }
+        const NoisyMeasurements noisy = apply_faults(
+            clean, predictor.base.mu_meas, options.faults, s0 + j);
+        cnt.outliers += static_cast<std::size_t>(noisy.outliers);
+        cnt.missing += static_cast<std::size_t>(noisy.dropped);
+        if (options.naive) {
+          // Plain linear map on the faulty values; invalid slots sit at
+          // their nominal delay, i.e. a centered value of zero.
+          linalg::Vector centered(n_meas, 0.0);
+          for (std::size_t i = 0; i < n_meas; ++i) {
+            if (noisy.valid[i]) {
+              centered[i] = noisy.values[i] - predictor.base.mu_meas[i];
+            }
+          }
+          pred = linalg::matvec(predictor.base.coef, centered);
+          for (std::size_t i = 0; i < n_rem; ++i) {
+            pred[i] += predictor.base.mu_rem[i];
+          }
+        } else {
+          RobustPrediction rp = predictor.predict(noisy.values, noisy.valid);
+          cnt.screened += rp.screened.size();
+          if (rp.health == PredictorHealth::kFailed) ++cnt.failed;
+          pred = std::move(rp.values);
+        }
+        for (std::size_t i = 0; i < n_rem; ++i) {
+          const double t = predictor.base.mu_rem[i] + d_true(i, j);
+          const double rel = std::abs(pred[i] - t) / std::abs(t);
+          pmax[i] = std::max(pmax[i], rel);
+          psum[i] += rel;
+        }
+      }
+    }
+  });
+  for (std::size_t ci = 0; ci < nchunks; ++ci) {
+    for (std::size_t i = 0; i < n_rem; ++i) {
+      out.metrics.eps_max[i] = std::max(out.metrics.eps_max[i], part_max[ci][i]);
+      out.metrics.eps_mean[i] += part_sum[ci][i];
+    }
+    out.failed_dies += part_cnt[ci].failed;
+    out.mean_screened += static_cast<double>(part_cnt[ci].screened);
+    out.mean_missing += static_cast<double>(part_cnt[ci].missing);
+    out.mean_outliers += static_cast<double>(part_cnt[ci].outliers);
+  }
+  const auto samples = static_cast<double>(options.mc.samples);
+  for (std::size_t i = 0; i < n_rem; ++i) {
+    out.metrics.eps_mean[i] /= samples;
+    out.metrics.e1 += out.metrics.eps_max[i];
+    out.metrics.e2 += out.metrics.eps_mean[i];
+    out.metrics.worst_eps = std::max(out.metrics.worst_eps,
+                                     out.metrics.eps_max[i]);
+  }
+  out.metrics.e1 /= static_cast<double>(n_rem);
+  out.metrics.e2 /= static_cast<double>(n_rem);
+  out.mean_screened /= samples;
+  out.mean_missing /= samples;
+  out.mean_outliers /= samples;
+  return out;
+}
+
 }  // namespace repro::core

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "core/measurement.h"
 #include "core/predictor.h"
 #include "variation/variation_model.h"
 
@@ -41,5 +42,40 @@ struct McMetrics {
 McMetrics evaluate_predictor(const variation::VariationModel& model,
                              const LinearPredictor& predictor,
                              const McOptions& options = {});
+
+// --- Fault-injected evaluation (noisy-silicon robustness protocol) --------
+//
+// Runs the same e1/e2 protocol, but each die's measurements pass through the
+// core/measurement.h fault model before prediction.  Die k draws its
+// parameter sample from stream(mc.seed, k) and its fault schedule from
+// stream(faults.seed, k), so metrics stay bit-identical for any thread count
+// and chunking — the PR-1 guarantee extended to the fault-injected protocol.
+//
+// Two prediction modes:
+//   * robust (default): RobustPredictor::predict — per-die IRLS/Huber
+//     calibration, dropout-aware subset solves, outlier screening;
+//   * naive == true: the plain Theorem-2 linear map applied to the faulty
+//     values, with invalid slots filled by their nominal delay (what a
+//     pipeline unaware of measurement faults would compute).
+//
+// Never throws for fault-injected input: an unusable predictor or an empty
+// remaining set yields zero metrics with failed_dies == samples (resp. 0).
+struct FaultyMcOptions {
+  McOptions mc;
+  FaultSpec faults;
+  bool naive = false;
+};
+
+struct FaultyMcMetrics {
+  McMetrics metrics;
+  std::size_t failed_dies = 0;   // dies that fell back to nominal prediction
+  double mean_screened = 0.0;    // outlier slots screened per die (robust)
+  double mean_missing = 0.0;     // invalid measurement slots per die
+  double mean_outliers = 0.0;    // outlier slots injected per die
+};
+
+FaultyMcMetrics evaluate_predictor_under_faults(
+    const variation::VariationModel& model, const RobustPredictor& predictor,
+    const FaultyMcOptions& options = {});
 
 }  // namespace repro::core

@@ -1,6 +1,7 @@
 #include "core/predictor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "linalg/gemm.h"
@@ -30,7 +31,9 @@ void build(LinearPredictor& p, const linalg::Matrix& a_rem,
 
 linalg::Vector LinearPredictor::predict(std::span<const double> measured) const {
   if (measured.size() != mu_meas.size()) {
-    throw std::invalid_argument("LinearPredictor::predict: size mismatch");
+    throw std::invalid_argument(
+        "LinearPredictor::predict: got " + std::to_string(measured.size()) +
+        " measurements, predictor expects " + std::to_string(mu_meas.size()));
   }
   linalg::Vector centered(measured.begin(), measured.end());
   for (std::size_t i = 0; i < centered.size(); ++i) centered[i] -= mu_meas[i];
@@ -111,6 +114,284 @@ LinearPredictor make_joint_predictor(const linalg::Matrix& a,
   }
   build(p, a_m, m_y);
   return p;
+}
+
+// ---------------------------------------------------------------------------
+// Noisy-silicon robustness layer.
+// ---------------------------------------------------------------------------
+
+const char* to_string(PredictorHealth h) {
+  switch (h) {
+    case PredictorHealth::kOk: return "ok";
+    case PredictorHealth::kDegraded: return "degraded";
+    case PredictorHealth::kFailed: return "failed";
+  }
+  return "?";
+}
+
+namespace {
+
+double median_abs(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  for (double& x : v) x = std::abs(x);
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  double m = v[mid];
+  if (v.size() % 2 == 0) {
+    // Lower-half max completes the even-size median.
+    double lo = v[0];
+    for (std::size_t i = 1; i < mid; ++i) lo = std::max(lo, v[i]);
+    m = 0.5 * (m + lo);
+  }
+  return m;
+}
+
+}  // namespace
+
+linalg::Vector RobustPredictor::error_sigmas() const {
+  linalg::Vector s = base.error_sigmas();
+  const double noise2 =
+      options.measurement_sigma_ps * options.measurement_sigma_ps;
+  if (noise2 > 0.0) {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const double cn = linalg::norm2(base.coef.row(i));
+      s[i] = std::sqrt(s[i] * s[i] + noise2 * cn * cn);
+    }
+  }
+  return s;
+}
+
+RobustPrediction RobustPredictor::predict(std::span<const double> measured,
+                                          std::span<const char> valid) const {
+  RobustPrediction out;
+  out.values = base.mu_rem;  // nominal fallback, overwritten on success
+  const std::size_t n_meas = base.mu_meas.size();
+  if (!status.usable() || measured.size() != n_meas ||
+      (!valid.empty() && valid.size() != n_meas)) {
+    return out;
+  }
+
+  // Usable measurement slots: flagged valid and finite.
+  std::vector<int> slots;
+  for (std::size_t i = 0; i < n_meas; ++i) {
+    if ((valid.empty() || valid[i]) && std::isfinite(measured[i])) {
+      slots.push_back(static_cast<int>(i));
+    } else {
+      out.missing.push_back(static_cast<int>(i));
+    }
+  }
+  if (slots.empty()) return out;  // nothing measurable on this die
+
+  const double lam0 =
+      options.measurement_sigma_ps * options.measurement_sigma_ps;
+  auto solve_slots = [&](const std::vector<int>& use,
+                         const linalg::Vector& weights,
+                         linalg::Vector& z) -> bool {
+    linalg::Matrix s = gram_meas.select_rows(use).select_cols(use);
+    linalg::Vector r0(use.size());
+    for (std::size_t i = 0; i < use.size(); ++i) {
+      const auto slot = static_cast<std::size_t>(use[i]);
+      r0[i] = measured[slot] - base.mu_meas[slot];
+      if (lam0 > 0.0) s(i, i) += lam0 / weights[i];
+    }
+    linalg::SpdSolveInfo info;
+    z = linalg::spd_solve_robust(s, r0, &info, options.max_condition);
+    return info.ok;
+  };
+
+  // Huber IRLS over the dual variable z of the MAP estimate
+  //   x = A_v^T (A_v A_v^T + lam0 W^{-1})^{-1} (y - mu);
+  // residuals come from the k x k system (r = r0 - S0 z), so each iteration
+  // costs O(k^3) with k = #valid slots.  With lam0 == 0 the system
+  // interpolates exactly and the loop converges immediately (classic
+  // Theorem-2 behaviour).
+  linalg::Vector w(slots.size(), 1.0);
+  linalg::Vector z;
+  const linalg::Matrix s0 =
+      gram_meas.select_rows(slots).select_cols(slots);
+  linalg::Vector r0(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const auto slot = static_cast<std::size_t>(slots[i]);
+    r0[i] = measured[slot] - base.mu_meas[slot];
+  }
+  double scale = options.measurement_sigma_ps;
+  for (int iter = 0; iter < std::max(1, options.irls_iterations); ++iter) {
+    ++out.irls_iterations;
+    if (!solve_slots(slots, w, z)) return out;  // pathological input
+    if (lam0 <= 0.0) break;
+    // Residuals and a robust scale estimate (MAD, floored at the sensor
+    // noise so a lucky die cannot declare everything an outlier).
+    const linalg::Vector sz = linalg::matvec(s0, z);
+    std::vector<double> resid(slots.size());
+    for (std::size_t i = 0; i < slots.size(); ++i) resid[i] = r0[i] - sz[i];
+    scale = std::max(options.measurement_sigma_ps,
+                     1.4826 * median_abs(resid));
+    double max_dw = 0.0;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      const double ar = std::abs(resid[i]);
+      const double wi =
+          (ar <= options.huber_delta * scale || ar == 0.0)
+              ? 1.0
+              : options.huber_delta * scale / ar;
+      max_dw = std::max(max_dw, std::abs(wi - w[i]));
+      w[i] = wi;
+    }
+    if (max_dw < options.irls_tol) break;
+  }
+  out.residual_scale = scale;
+
+  // Residual-based outlier screening: slots whose standardized residual
+  // exceeds the z-score threshold are removed outright and the final solve
+  // is redone on the survivors.
+  std::vector<int> kept = slots;
+  if (lam0 > 0.0 && scale > 0.0 && slots.size() >= 4) {
+    const linalg::Vector sz = linalg::matvec(s0, z);
+    std::vector<int> survivors;
+    linalg::Vector w_kept;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (std::abs(r0[i] - sz[i]) > options.outlier_zscore * scale) {
+        out.screened.push_back(slots[i]);
+      } else {
+        survivors.push_back(slots[i]);
+        w_kept.push_back(w[i]);
+      }
+    }
+    if (!out.screened.empty() && !survivors.empty()) {
+      kept = std::move(survivors);
+      if (!solve_slots(kept, w_kept, z)) return out;
+    } else if (survivors.empty()) {
+      return out;  // every measurement looked insane: nominal fallback
+    }
+  }
+
+  // x = A_v^T z, then d_rem = mu_rem + A_rem x.
+  const linalg::Matrix a_v = a_meas.select_rows(kept);
+  const linalg::Vector x = linalg::matvec_transposed(a_v, z);
+  out.values = linalg::matvec(a_rem, x);
+  for (std::size_t i = 0; i < out.values.size(); ++i) {
+    out.values[i] += base.mu_rem[i];
+  }
+  out.health = (out.screened.empty() && out.missing.empty())
+                   ? PredictorHealth::kOk
+                   : PredictorHealth::kDegraded;
+  return out;
+}
+
+RobustPredictor make_robust_path_predictor(const linalg::Matrix& a,
+                                           const linalg::Vector& mu,
+                                           const std::vector<int>& rep,
+                                           const std::vector<int>& dead,
+                                           const RobustOptions& options) {
+  RobustPredictor rp;
+  rp.options = options;
+  auto fail = [&](std::string msg) {
+    rp.status.health = PredictorHealth::kFailed;
+    rp.status.message = std::move(msg);
+    return rp;
+  };
+  if (a.empty()) {
+    return fail(a.rows() == 0 ? "no target paths (A has zero rows)"
+                              : "no variation parameters (A has zero columns)");
+  }
+  if (mu.size() != a.rows()) {
+    return fail("mu size " + std::to_string(mu.size()) +
+                " != path count " + std::to_string(a.rows()));
+  }
+  const auto n = static_cast<int>(a.rows());
+  std::vector<char> is_dead(a.rows(), 0);
+  for (int d : dead) {
+    if (d < 0 || d >= n) return fail("dead path index out of range");
+    is_dead[static_cast<std::size_t>(d)] = 1;
+  }
+  std::vector<char> in_meas(a.rows(), 0);
+  std::vector<int> live;
+  for (int r : rep) {
+    if (r < 0 || r >= n) return fail("representative index out of range");
+    if (in_meas[static_cast<std::size_t>(r)]) continue;  // duplicate
+    if (is_dead[static_cast<std::size_t>(r)]) {
+      rp.status.dropped_paths.push_back(r);
+      continue;
+    }
+    in_meas[static_cast<std::size_t>(r)] = 1;
+    live.push_back(r);
+  }
+  if (options.promote_backups && !rp.status.dropped_paths.empty()) {
+    for (int b : options.backup_order) {
+      if (live.size() >= rep.size()) break;
+      if (b < 0 || b >= n) continue;
+      if (in_meas[static_cast<std::size_t>(b)] ||
+          is_dead[static_cast<std::size_t>(b)]) {
+        continue;
+      }
+      in_meas[static_cast<std::size_t>(b)] = 1;
+      live.push_back(b);
+      rp.status.promoted_paths.push_back(b);
+    }
+  }
+  if (live.empty()) {
+    return fail(rep.empty() ? "no representative paths given"
+                            : "all representative paths are dead");
+  }
+
+  LinearPredictor& p = rp.base;
+  p.measured_paths = live;
+  for (int i = 0; i < n; ++i) {
+    if (!in_meas[static_cast<std::size_t>(i)]) p.remaining.push_back(i);
+  }
+  rp.a_meas = a.select_rows(live);
+  rp.a_rem = a.select_rows(p.remaining);
+  p.mu_meas.resize(live.size());
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    p.mu_meas[k] = mu[static_cast<std::size_t>(live[k])];
+  }
+  p.mu_rem.resize(p.remaining.size());
+  for (std::size_t k = 0; k < p.remaining.size(); ++k) {
+    p.mu_rem[k] = mu[static_cast<std::size_t>(p.remaining[k])];
+  }
+
+  // Reported robust Gram solve instead of the throwing spd_solve.
+  rp.gram_meas = linalg::gram(rp.a_meas);
+  const linalg::Matrix cross = linalg::multiply_bt(rp.a_rem, rp.a_meas);
+  linalg::SpdSolveInfo info;
+  const linalg::Matrix z = linalg::spd_solve_robust(
+      rp.gram_meas, cross.transposed(), &info, options.max_condition);
+  rp.status.gram_condition = info.condition;
+  rp.status.ridge = info.ridge;
+  if (!info.ok) {
+    return fail("measured Gram system unsolvable (non-finite sensitivities?)");
+  }
+  p.coef = z.transposed();
+  p.omega = linalg::multiply(p.coef, rp.a_meas);
+  p.omega -= rp.a_rem;
+
+  // Status roll-up: ridge fallback or dead-path drop => degraded.
+  const bool degraded = info.regularized || !rp.status.dropped_paths.empty();
+  rp.status.health =
+      degraded ? PredictorHealth::kDegraded : PredictorHealth::kOk;
+  if (info.regularized) {
+    rp.status.message =
+        "gram condition " + std::to_string(info.condition) +
+        " above threshold; ridge " + std::to_string(info.ridge) + " applied";
+  } else if (!rp.status.dropped_paths.empty()) {
+    rp.status.message =
+        std::to_string(rp.status.dropped_paths.size()) +
+        " dead representative path(s) dropped, " +
+        std::to_string(rp.status.promoted_paths.size()) + " backup(s) promoted";
+  }
+
+  // Mean inflation of the analytic error sigmas by the noise prior.
+  if (options.measurement_sigma_ps > 0.0 && !p.remaining.empty()) {
+    const linalg::Vector clean = p.error_sigmas();
+    const linalg::Vector noisy = rp.error_sigmas();
+    double sc = 0.0, sn = 0.0;
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+      sc += clean[i];
+      sn += noisy[i];
+    }
+    rp.status.sigma_inflation = (sc > 0.0) ? sn / sc : 1.0;
+  }
+  return rp;
 }
 
 }  // namespace repro::core

@@ -11,6 +11,8 @@
 // Sigma (measured segments) powers the hybrid Algorithm 3.
 #pragma once
 
+#include <span>
+#include <string>
 #include <vector>
 
 #include "linalg/matrix.h"
@@ -51,5 +53,104 @@ LinearPredictor make_joint_predictor(const linalg::Matrix& a,
                                      const std::vector<int>& rep_paths,
                                      const std::vector<int>& rep_segments,
                                      const std::vector<int>& remaining);
+
+// ---------------------------------------------------------------------------
+// Noisy-silicon robustness layer.
+//
+// Real post-silicon test gives noisy, quantized, occasionally missing
+// measurements (see core/measurement.h).  The types below wrap the Theorem-2
+// predictor with (a) structured status reporting instead of exceptions,
+// (b) a condition-number / ridge fallback for ill-conditioned measured Gram
+// systems, (c) graceful degradation when representative paths are dead
+// (rebuild on the surviving subset, optionally promoting backups from the
+// Algorithm-2 pivot order), and (d) a per-die IRLS/Huber calibration with
+// residual-based outlier screening.
+// ---------------------------------------------------------------------------
+
+enum class PredictorHealth {
+  kOk,        // clean construction / prediction
+  kDegraded,  // usable, but ridge-regularized, dead paths dropped, or
+              // measurements screened/missing
+  kFailed,    // no usable predictor / prediction (values fall back to nominal)
+};
+const char* to_string(PredictorHealth h);
+
+struct PredictorStatus {
+  PredictorHealth health = PredictorHealth::kFailed;
+  double gram_condition = 0.0;     // cond_1 estimate of A_r A_r^T (original)
+  double ridge = 0.0;              // ridge applied to the Gram solve (0=none)
+  std::vector<int> dropped_paths;  // representative paths removed as dead
+  std::vector<int> promoted_paths; // backups promoted from the pivot order
+  double sigma_inflation = 1.0;    // mean noise-inflated / clean error sigma
+  std::string message;             // human-readable reason when not kOk
+  bool usable() const { return health != PredictorHealth::kFailed; }
+};
+
+struct RobustOptions {
+  // Gram systems above this 1-norm condition estimate trigger the reported
+  // ridge fallback (and a kDegraded status).
+  double max_condition = 1e12;
+  // Huber tuning constant, in units of the residual scale (1.345 = 95%
+  // Gaussian efficiency).
+  double huber_delta = 1.345;
+  int irls_iterations = 12;
+  double irls_tol = 1e-8;          // max weight change declaring convergence
+  // Standardized-residual threshold beyond which a measurement is screened
+  // out as an outlier after IRLS converges.
+  double outlier_zscore = 4.0;
+  // Known 1-sigma sensor noise (ps).  This is the MAP noise prior of the
+  // IRLS solve; with 0 the solve interpolates the measurements exactly
+  // (residuals vanish) and neither reweighting nor screening can act — pass
+  // core::expected_noise_sigma(spec, mu_meas) when simulating faults.
+  double measurement_sigma_ps = 0.0;
+  // When representative paths are dead, refill the measured set from
+  // backup_order (the Algorithm-2 column-pivot order; entries already
+  // measured or dead are skipped).
+  bool promote_backups = true;
+  std::vector<int> backup_order;
+};
+
+struct RobustPrediction {
+  linalg::Vector values;      // predicted remaining-path delays (ps); on
+                              // kFailed these are the nominal delays
+  PredictorHealth health = PredictorHealth::kFailed;
+  std::vector<int> screened;  // measurement slots rejected as outliers
+  std::vector<int> missing;   // slots invalid on input (dropped/non-finite)
+  int irls_iterations = 0;
+  double residual_scale = 0.0;  // robust residual sigma estimate (ps)
+};
+
+struct RobustPredictor {
+  LinearPredictor base;    // Theorem-2 predictor on the surviving rep set
+  linalg::Matrix a_meas;   // surviving measurement sensitivities (n_meas x m)
+  linalg::Matrix a_rem;    // remaining-path sensitivities   (n_rem x m)
+  linalg::Matrix gram_meas;  // A_r A_r^T, cached for per-die subset solves
+  PredictorStatus status;
+  RobustOptions options;
+
+  // Robust per-die prediction: Huber-IRLS parameter estimate from the valid
+  // measurements, residual outlier screening, then d_rem = mu_rem + A_rem x.
+  // `valid` (optional, one flag per measurement slot) marks slots usable on
+  // this die; non-finite measured values are screened unconditionally.
+  // Never throws; with no usable measurement the nominal delays are returned
+  // with health kFailed.
+  RobustPrediction predict(std::span<const double> measured,
+                           std::span<const char> valid = {}) const;
+
+  // Analytic per-remaining-path error sigma inflated by the measurement
+  // noise prior: sqrt(||omega_i||^2 + sigma_meas^2 ||coef_i||^2).
+  linalg::Vector error_sigmas() const;
+};
+
+// Builds the robust predictor for measured rows `rep` of A, excluding the
+// paths listed in `dead` (flagged unmeasurable pre-calibration; they join
+// the predicted remaining set) and promoting backups per `options`.  Never
+// throws on bad input or ill-conditioned Gram systems: inspect
+// result.status (kFailed predictors return nominal-delay predictions).
+RobustPredictor make_robust_path_predictor(const linalg::Matrix& a,
+                                           const linalg::Vector& mu,
+                                           const std::vector<int>& rep,
+                                           const std::vector<int>& dead = {},
+                                           const RobustOptions& options = {});
 
 }  // namespace repro::core

@@ -36,10 +36,11 @@ CholFactors chol_factor(Matrix s) {
   return f;
 }
 
-RegularizedChol chol_factor_regularized(const Matrix& s, double initial_jitter) {
+RegularizedChol try_chol_factor_regularized(const Matrix& s,
+                                            double initial_jitter) {
   RegularizedChol out;
   double scale = s.max_abs();
-  if (scale == 0.0) scale = 1.0;
+  if (scale == 0.0 || !std::isfinite(scale)) scale = 1.0;
   double jitter = initial_jitter;
   for (int attempt = 0; attempt < 40; ++attempt) {
     Matrix sj = s;
@@ -54,7 +55,16 @@ RegularizedChol chol_factor_regularized(const Matrix& s, double initial_jitter) 
     jitter = (jitter == 0.0) ? scale * 1e-14 : jitter * 10.0;
     if (jitter > scale) break;
   }
-  throw std::runtime_error("chol_factor_regularized: matrix far from PSD");
+  out.factors.ok = false;
+  return out;
+}
+
+RegularizedChol chol_factor_regularized(const Matrix& s, double initial_jitter) {
+  RegularizedChol out = try_chol_factor_regularized(s, initial_jitter);
+  if (!out.factors.ok) {
+    throw std::runtime_error("chol_factor_regularized: matrix far from PSD");
+  }
+  return out;
 }
 
 Vector chol_forward(const CholFactors& f, Vector b) {

@@ -29,6 +29,13 @@ struct RegularizedChol {
 RegularizedChol chol_factor_regularized(const Matrix& s,
                                         double initial_jitter = 0.0);
 
+// Non-throwing variant for pipelines that must degrade gracefully instead of
+// unwinding (see core::make_robust_path_predictor): factors.ok == false when
+// no jitter up to max_abs(S) makes the factorization succeed (e.g. NaN/Inf
+// entries or a matrix far from PSD).
+RegularizedChol try_chol_factor_regularized(const Matrix& s,
+                                            double initial_jitter = 0.0);
+
 Vector chol_solve(const CholFactors& f, Vector b);
 Matrix chol_solve(const CholFactors& f, const Matrix& b);
 

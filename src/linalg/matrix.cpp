@@ -208,4 +208,15 @@ double max_abs_diff(const Matrix& a, const Matrix& b) {
   return m;
 }
 
+double one_norm(const Matrix& a) {
+  Vector colsum(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto row = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) colsum[j] += std::abs(row[j]);
+  }
+  double m = 0.0;
+  for (double c : colsum) m = std::max(m, c);
+  return m;
+}
+
 }  // namespace repro::linalg

@@ -103,4 +103,8 @@ Vector matvec_transposed(const Matrix& a, std::span<const double> x);
 // Maximum elementwise |a - b|; matrices must have equal shape.
 double max_abs_diff(const Matrix& a, const Matrix& b);
 
+// Induced matrix 1-norm (maximum column absolute sum); pairs with the
+// Hager-style ||S^{-1}||_1 estimate in solve.h to form a condition estimate.
+double one_norm(const Matrix& a);
+
 }  // namespace repro::linalg

@@ -48,4 +48,90 @@ Vector spd_solve(const Matrix& s, Vector b) {
   return chol_solve(rc.factors, std::move(b));
 }
 
+double inverse_one_norm_estimate(const CholFactors& f) {
+  if (!f.ok) return std::numeric_limits<double>::infinity();
+  const std::size_t n = f.l.rows();
+  if (n == 0) return 0.0;
+  // Hager's algorithm: maximize ||S^{-1} x||_1 over the unit 1-norm ball by
+  // alternating solves with the gradient sign vector.  S is symmetric, so
+  // the transpose solve is the same solve.
+  Vector x(n, 1.0 / static_cast<double>(n));
+  double est = 0.0;
+  for (int iter = 0; iter < 5; ++iter) {
+    const Vector y = chol_solve(f, x);
+    est = norm1(y);
+    if (!std::isfinite(est)) return std::numeric_limits<double>::infinity();
+    Vector xi(n);
+    for (std::size_t i = 0; i < n; ++i) xi[i] = (y[i] >= 0.0) ? 1.0 : -1.0;
+    const Vector z = chol_solve(f, std::move(xi));
+    std::size_t j = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (std::abs(z[i]) > std::abs(z[j])) j = i;
+    }
+    if (std::abs(z[j]) <= dot(z, x)) break;  // converged at a maximizer
+    x.assign(n, 0.0);
+    x[j] = 1.0;
+  }
+  return est;
+}
+
+double condest_spd(const Matrix& s) {
+  const CholFactors f = chol_factor(s);
+  if (!f.ok) return std::numeric_limits<double>::infinity();
+  return one_norm(s) * inverse_one_norm_estimate(f);
+}
+
+Matrix spd_solve_robust(const Matrix& s, const Matrix& b, SpdSolveInfo* info,
+                        double max_condition) {
+  SpdSolveInfo local;
+  SpdSolveInfo& out = info ? *info : local;
+  out = SpdSolveInfo{};
+  if (s.rows() != s.cols() || s.rows() != b.rows()) {
+    out.condition = std::numeric_limits<double>::infinity();
+    return Matrix(s.rows(), b.cols());
+  }
+  const double anorm = one_norm(s);
+  CholFactors f = chol_factor(s);
+  out.condition =
+      f.ok ? anorm * inverse_one_norm_estimate(f)
+           : std::numeric_limits<double>::infinity();
+  if (f.ok && out.condition <= max_condition) {
+    out.ok = true;
+    return chol_solve(f, b);
+  }
+  // Ridge fallback: grow the ridge until the regularized system factorizes
+  // and is acceptably conditioned.  A ridge of order ||S|| always succeeds
+  // for finite input, so only NaN/Inf data exhausts the loop.
+  double scale = s.max_abs();
+  if (scale == 0.0 || !std::isfinite(scale)) scale = 1.0;
+  double ridge = scale * 1e-12;
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    Matrix sj = s;
+    for (std::size_t i = 0; i < sj.rows(); ++i) sj(i, i) += ridge;
+    f = chol_factor(std::move(sj));
+    if (f.ok) {
+      const double cond = (anorm + ridge) * inverse_one_norm_estimate(f);
+      if (cond <= max_condition || ridge >= scale) {
+        out.ok = true;
+        out.regularized = true;
+        out.ridge = ridge;
+        return chol_solve(f, b);
+      }
+    }
+    ridge *= 10.0;
+    if (ridge > scale * 10.0) break;
+  }
+  return Matrix(s.rows(), b.cols());
+}
+
+Vector spd_solve_robust(const Matrix& s, const Vector& b, SpdSolveInfo* info,
+                        double max_condition) {
+  Matrix col(b.size(), 1);
+  for (std::size_t i = 0; i < b.size(); ++i) col(i, 0) = b[i];
+  const Matrix x = spd_solve_robust(s, col, info, max_condition);
+  Vector v(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) v[i] = x(i, 0);
+  return v;
+}
+
 }  // namespace repro::linalg

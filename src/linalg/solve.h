@@ -3,6 +3,7 @@
 // selection algorithms.
 #pragma once
 
+#include "linalg/cholesky.h"
 #include "linalg/matrix.h"
 
 namespace repro::linalg {
@@ -24,5 +25,35 @@ Vector lstsq(const Matrix& a, std::span<const double> b, double rel_tol = -1.0);
 // and error model.
 Matrix spd_solve(const Matrix& s, const Matrix& b);
 Vector spd_solve(const Matrix& s, Vector b);
+
+// Hager/Higham estimate of ||S^{-1}||_1 from a Cholesky factorization of the
+// symmetric S (a few solves instead of an explicit inverse; the standard
+// LAPACK-xPOCON approach).  Returns +inf when the factorization is not ok.
+double inverse_one_norm_estimate(const CholFactors& f);
+
+// 1-norm condition-number estimate cond_1(S) = ||S||_1 * est(||S^{-1}||_1)
+// for symmetric positive definite S; +inf when S is not factorizable.
+double condest_spd(const Matrix& s);
+
+// Robust Gram solve for noisy-silicon calibration: reports conditioning and
+// the ridge it had to apply instead of throwing.  Policy:
+//   1. factor S; if cond_1(S) <= max_condition, solve plainly;
+//   2. otherwise (or when the factorization fails) retry with a growing
+//      diagonal ridge until the regularized system is well-conditioned;
+//   3. ok == false only for pathological input (NaN/Inf) that no ridge fixes.
+// `condition` always refers to the original S (+inf if unfactorizable), so
+// callers can report how sick the measured Gram matrix was.
+struct SpdSolveInfo {
+  bool ok = false;
+  bool regularized = false;  // a ridge was applied
+  double ridge = 0.0;        // diagonal ridge actually used
+  double condition = 0.0;    // cond_1 estimate of the *original* S
+};
+Matrix spd_solve_robust(const Matrix& s, const Matrix& b,
+                        SpdSolveInfo* info = nullptr,
+                        double max_condition = 1e12);
+Vector spd_solve_robust(const Matrix& s, const Vector& b,
+                        SpdSolveInfo* info = nullptr,
+                        double max_condition = 1e12);
 
 }  // namespace repro::linalg

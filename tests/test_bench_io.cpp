@@ -147,5 +147,88 @@ TEST(BenchIo, MultiFanoutSignal) {
   EXPECT_EQ(g0.fanout.size(), 2u);
 }
 
+// --- Recoverable parsing -----------------------------------------------------
+
+TEST(BenchIoRecover, CleanInputHasNoDiagnostics) {
+  const BenchParseResult res = parse_bench_string(kSmallBench, "small");
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.netlist.inputs().size(), 2u);
+  EXPECT_EQ(res.netlist.combinational_count(), 3u);
+}
+
+TEST(BenchIoRecover, TruncatedFileKeepsValidPrefix) {
+  // A download cut off mid-line: the broken tail becomes diagnostics, the
+  // valid prefix still builds a netlist.
+  const BenchParseResult res = parse_bench_string(
+      "INPUT(G0)\nINPUT(G1)\nG3 = NAND(G0, G1)\nG4 = NO", "trunc");
+  ASSERT_EQ(res.diagnostics.size(), 1u);
+  EXPECT_EQ(res.diagnostics.front().line, 4);
+  EXPECT_TRUE(res.netlist.find("G3").has_value());
+  EXPECT_EQ(res.netlist.inputs().size(), 2u);
+}
+
+TEST(BenchIoRecover, GarbageLinesReportedWithLineNumbers) {
+  const BenchParseResult res = parse_bench_string(
+      "INPUT(G0)\n"          // 1: ok
+      "not bench at all\n"   // 2: malformed
+      "g1 = FROB(G0)\n"      // 3: unknown function
+      "g2 = NOT(G0)\n"       // 4: ok
+      "g3 = NOT(nope)\n",    // 5: undefined signal
+      "garbage");
+  ASSERT_EQ(res.diagnostics.size(), 3u);
+  EXPECT_EQ(res.diagnostics[0].line, 2);
+  EXPECT_EQ(res.diagnostics[1].line, 3);
+  EXPECT_NE(res.diagnostics[1].message.find("FROB"), std::string::npos);
+  EXPECT_EQ(res.diagnostics[2].line, 5);
+  EXPECT_NE(res.diagnostics[2].message.find("nope"), std::string::npos);
+  // The good gate survives.
+  ASSERT_TRUE(res.netlist.find("g2").has_value());
+  EXPECT_EQ(res.netlist.gate(*res.netlist.find("g2")).type, GateType::kNot);
+}
+
+TEST(BenchIoRecover, DuplicateSignalKeepsFirstDefinition) {
+  const BenchParseResult res = parse_bench_string(
+      "INPUT(a)\nINPUT(b)\ng = NOT(a)\ng = NAND(a, b)\n", "dup");
+  ASSERT_EQ(res.diagnostics.size(), 1u);
+  EXPECT_EQ(res.diagnostics.front().line, 4);
+  EXPECT_NE(res.diagnostics.front().message.find("duplicate"),
+            std::string::npos);
+  EXPECT_EQ(res.netlist.gate(*res.netlist.find("g")).type, GateType::kNot);
+}
+
+TEST(BenchIoRecover, DuplicateOutputDeclarationReported) {
+  const BenchParseResult res = parse_bench_string(
+      "INPUT(a)\nOUTPUT(a)\nOUTPUT(a)\n", "dupout");
+  ASSERT_EQ(res.diagnostics.size(), 1u);
+  EXPECT_EQ(res.diagnostics.front().line, 3);
+  EXPECT_EQ(res.netlist.outputs().size(), 1u);
+}
+
+TEST(BenchIoRecover, UndefinedFaninSkipsOnlyThatConnection) {
+  const BenchParseResult res = parse_bench_string(
+      "INPUT(a)\ng = AND(a, ghost)\nOUTPUT(g)\n", "ghost");
+  ASSERT_EQ(res.diagnostics.size(), 1u);
+  EXPECT_EQ(res.diagnostics.front().line, 2);
+  // g exists with the resolvable fanin wired.
+  const Gate& g = res.netlist.gate(*res.netlist.find("g"));
+  EXPECT_EQ(g.fanin.size(), 1u);
+  EXPECT_EQ(res.netlist.outputs().size(), 1u);
+}
+
+TEST(BenchIoRecover, EmptyInputYieldsEmptyCleanNetlist) {
+  const BenchParseResult res = parse_bench_string("", "empty");
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.netlist.size(), 0u);
+}
+
+TEST(BenchIoRecover, ThrowingWrapperReportsFirstDiagnosticLine) {
+  try {
+    (void)read_bench_string("INPUT(a)\nbogus line\n");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bench line 2"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace repro::circuit

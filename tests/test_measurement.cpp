@@ -1,0 +1,159 @@
+#include "core/measurement.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+
+namespace repro::core {
+namespace {
+
+linalg::Vector make_nominal(std::size_t n) {
+  linalg::Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = 100.0 + 10.0 * double(i);
+  return v;
+}
+
+TEST(FaultSpec, CleanDetection) {
+  EXPECT_TRUE(FaultSpec{}.clean());
+  EXPECT_FALSE(default_fault_spec().clean());
+  FaultSpec dead_only;
+  dead_only.dead_slots = {2};
+  EXPECT_FALSE(dead_only.clean());
+}
+
+TEST(FaultSpec, WithoutDeadSlotsClearsOnlyDeadSlots) {
+  FaultSpec spec = default_fault_spec();
+  const FaultSpec stripped = without_dead_slots(spec);
+  EXPECT_TRUE(stripped.dead_slots.empty());
+  EXPECT_DOUBLE_EQ(stripped.noise_sigma_frac, spec.noise_sigma_frac);
+  EXPECT_DOUBLE_EQ(stripped.outlier_rate, spec.outlier_rate);
+  EXPECT_EQ(stripped.seed, spec.seed);
+}
+
+TEST(FaultSpec, ExpectedNoiseSigma) {
+  FaultSpec spec;
+  spec.noise_sigma_ps = 2.0;
+  spec.noise_sigma_frac = 0.01;
+  const linalg::Vector nominal{100.0, 300.0};  // mean |nominal| = 200
+  EXPECT_NEAR(expected_noise_sigma(spec, nominal), 2.0 + 0.01 * 200.0, 1e-12);
+  EXPECT_DOUBLE_EQ(expected_noise_sigma(spec, {}), 2.0);
+}
+
+TEST(ApplyFaults, CleanSpecIsIdentity) {
+  const linalg::Vector nominal = make_nominal(5);
+  linalg::Vector clean = nominal;
+  clean[2] += 3.5;
+  const NoisyMeasurements out = apply_faults(clean, nominal, FaultSpec{}, 7);
+  ASSERT_EQ(out.values.size(), clean.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out.values[i], clean[i]);
+    EXPECT_TRUE(out.valid[i]);
+  }
+  EXPECT_EQ(out.dropped, 0);
+  EXPECT_EQ(out.outliers, 0);
+}
+
+TEST(ApplyFaults, DeterministicPerSpecAndDie) {
+  const linalg::Vector nominal = make_nominal(8);
+  const FaultSpec spec = default_fault_spec();
+  const NoisyMeasurements a = apply_faults(nominal, nominal, spec, 11);
+  const NoisyMeasurements b = apply_faults(nominal, nominal, spec, 11);
+  for (std::size_t i = 0; i < nominal.size(); ++i) {
+    EXPECT_EQ(a.values[i], b.values[i]);
+    EXPECT_EQ(a.valid[i], b.valid[i]);
+  }
+  // A different die draws a different schedule.
+  const NoisyMeasurements c = apply_faults(nominal, nominal, spec, 12);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < nominal.size(); ++i) {
+    any_diff = any_diff || a.values[i] != c.values[i];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ApplyFaults, DeadSlotsInvalidAndHoldNominal) {
+  const linalg::Vector nominal = make_nominal(4);
+  linalg::Vector clean = nominal;
+  for (double& v : clean) v += 5.0;
+  FaultSpec spec;
+  spec.noise_sigma_ps = 1.0;
+  spec.dead_slots = {1, 3, 99, -2};  // out-of-range entries are ignored
+  const NoisyMeasurements out = apply_faults(clean, nominal, spec, 0);
+  EXPECT_FALSE(out.valid[1]);
+  EXPECT_FALSE(out.valid[3]);
+  EXPECT_DOUBLE_EQ(out.values[1], nominal[1]);
+  EXPECT_DOUBLE_EQ(out.values[3], nominal[3]);
+  EXPECT_TRUE(out.valid[0]);
+  EXPECT_TRUE(out.valid[2]);
+  EXPECT_EQ(out.dropped, 2);
+}
+
+TEST(ApplyFaults, FullDropoutInvalidatesEverySlot) {
+  const linalg::Vector nominal = make_nominal(6);
+  FaultSpec spec;
+  spec.dropout_rate = 1.0;
+  const NoisyMeasurements out = apply_faults(nominal, nominal, spec, 3);
+  for (std::size_t i = 0; i < nominal.size(); ++i) {
+    EXPECT_FALSE(out.valid[i]);
+    EXPECT_DOUBLE_EQ(out.values[i], nominal[i]);
+  }
+  EXPECT_EQ(out.dropped, 6);
+}
+
+TEST(ApplyFaults, QuantizationSnapsToLsb) {
+  const linalg::Vector nominal = make_nominal(5);
+  linalg::Vector clean = nominal;
+  clean[0] += 0.37;
+  FaultSpec spec;
+  spec.quantization_ps = 0.25;
+  const NoisyMeasurements out = apply_faults(clean, nominal, spec, 0);
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    const double steps = out.values[i] / spec.quantization_ps;
+    EXPECT_NEAR(steps, std::round(steps), 1e-9);
+    EXPECT_NEAR(out.values[i], clean[i], spec.quantization_ps / 2 + 1e-12);
+  }
+}
+
+TEST(ApplyFaults, OutlierMixtureScalesNoise) {
+  const linalg::Vector nominal = make_nominal(64);
+  FaultSpec base;
+  base.noise_sigma_ps = 1.0;
+  FaultSpec heavy = base;
+  heavy.outlier_rate = 1.0;  // every slot draws the outlier component
+  heavy.outlier_scale = 10.0;
+  const NoisyMeasurements a = apply_faults(nominal, nominal, base, 5);
+  const NoisyMeasurements b = apply_faults(nominal, nominal, heavy, 5);
+  EXPECT_EQ(a.outliers, 0);
+  EXPECT_EQ(b.outliers, 64);
+  // Same seed/die => same underlying deviate, scaled by outlier_scale.
+  for (std::size_t i = 0; i < nominal.size(); ++i) {
+    const double noise_a = a.values[i] - nominal[i];
+    const double noise_b = b.values[i] - nominal[i];
+    EXPECT_NEAR(noise_b, 10.0 * noise_a, 1e-9);
+  }
+}
+
+TEST(ApplyFaults, NoiseSigmaScalesWithNominal) {
+  // Per-slot sigma = noise_sigma_ps + frac * |nominal|: the first slot of a
+  // given die consumes the same deviates whatever the nominal delay is, so a
+  // 10x nominal gives exactly 10x the noise.
+  const linalg::Vector small{100.0}, large{1000.0};
+  FaultSpec spec;
+  spec.noise_sigma_frac = 0.01;
+  for (std::uint64_t die = 0; die < 16; ++die) {
+    const NoisyMeasurements a = apply_faults(small, small, spec, die);
+    const NoisyMeasurements b = apply_faults(large, large, spec, die);
+    EXPECT_NEAR(b.values[0] - large[0], 10.0 * (a.values[0] - small[0]), 1e-9);
+  }
+}
+
+TEST(ApplyFaults, SizeMismatchThrows) {
+  const linalg::Vector nominal = make_nominal(3);
+  const linalg::Vector clean = make_nominal(4);
+  EXPECT_THROW(apply_faults(clean, nominal, FaultSpec{}, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -1,0 +1,463 @@
+#include "core/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "circuit/generator.h"
+#include "circuit/placement.h"
+#include "core/monte_carlo.h"
+#include "core/subset_select.h"
+#include "linalg/gemm.h"
+#include "timing/segments.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "variation/variation_model.h"
+
+namespace repro::core {
+namespace {
+
+linalg::Matrix random_matrix(std::size_t r, std::size_t c,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  linalg::Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.normal();
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate construction inputs: always a defined status, never a throw.
+// ---------------------------------------------------------------------------
+
+TEST(RobustPredictor, DegenerateInputsGiveDefinedFailedStatus) {
+  const linalg::Matrix a = random_matrix(6, 10, 1);
+  const linalg::Vector mu(6, 100.0);
+
+  // Zero target paths / zero parameters.
+  EXPECT_NO_THROW({
+    const auto p = make_robust_path_predictor(linalg::Matrix(), {}, {0});
+    EXPECT_EQ(p.status.health, PredictorHealth::kFailed);
+    EXPECT_FALSE(p.status.message.empty());
+  });
+  EXPECT_NO_THROW({
+    const auto p = make_robust_path_predictor(linalg::Matrix(6, 0),
+                                              linalg::Vector(6, 0.0), {0});
+    EXPECT_EQ(p.status.health, PredictorHealth::kFailed);
+  });
+  // mu size mismatch.
+  {
+    const auto p = make_robust_path_predictor(a, linalg::Vector(3, 0.0), {0});
+    EXPECT_EQ(p.status.health, PredictorHealth::kFailed);
+  }
+  // No representative paths at all.
+  {
+    const auto p = make_robust_path_predictor(a, mu, {});
+    EXPECT_EQ(p.status.health, PredictorHealth::kFailed);
+    EXPECT_FALSE(p.status.usable());
+  }
+  // Out-of-range representative / dead indices.
+  EXPECT_EQ(make_robust_path_predictor(a, mu, {99}).status.health,
+            PredictorHealth::kFailed);
+  EXPECT_EQ(make_robust_path_predictor(a, mu, {0}, {-1}).status.health,
+            PredictorHealth::kFailed);
+  // Every representative dead, nothing to promote.
+  {
+    RobustOptions opt;
+    opt.promote_backups = false;
+    const auto p = make_robust_path_predictor(a, mu, {0, 1}, {0, 1}, opt);
+    EXPECT_EQ(p.status.health, PredictorHealth::kFailed);
+    EXPECT_EQ(p.status.dropped_paths.size(), 2u);
+  }
+}
+
+TEST(RobustPredictor, FailedPredictorPredictsNominal) {
+  const linalg::Matrix a = random_matrix(4, 6, 2);
+  const linalg::Vector mu{10.0, 20.0, 30.0, 40.0};
+  const auto p = make_robust_path_predictor(a, mu, {});
+  const RobustPrediction pr = p.predict(linalg::Vector{});
+  EXPECT_EQ(pr.health, PredictorHealth::kFailed);
+  EXPECT_EQ(pr.values, p.base.mu_rem);
+}
+
+TEST(RobustPredictor, EmptyRemainingSetIsOk) {
+  // Measuring every path leaves nothing to predict: valid, empty prediction.
+  const linalg::Matrix a = random_matrix(4, 8, 3);
+  const linalg::Vector mu(4, 50.0);
+  const auto p = make_robust_path_predictor(a, mu, {0, 1, 2, 3});
+  EXPECT_EQ(p.status.health, PredictorHealth::kOk);
+  EXPECT_TRUE(p.base.remaining.empty());
+  linalg::Vector meas = p.base.mu_meas;
+  const RobustPrediction pr = p.predict(meas);
+  EXPECT_TRUE(pr.values.empty());
+  EXPECT_EQ(pr.health, PredictorHealth::kOk);
+}
+
+TEST(RobustPredictor, RankDeficientGramIsRegularizedNotFatal) {
+  // Rank-2 sensitivity matrix, 4 measured rows: the measured Gram is
+  // singular; construction must degrade (reported ridge) instead of throwing.
+  const linalg::Matrix a =
+      linalg::multiply(random_matrix(8, 2, 4), random_matrix(2, 12, 5));
+  const linalg::Vector mu(8, 200.0);
+  RobustPredictor p;
+  EXPECT_NO_THROW(p = make_robust_path_predictor(a, mu, {0, 1, 2, 3}));
+  EXPECT_EQ(p.status.health, PredictorHealth::kDegraded);
+  EXPECT_GT(p.status.ridge, 0.0);
+  EXPECT_GT(p.status.gram_condition, p.options.max_condition);
+  EXPECT_TRUE(p.status.usable());
+  for (std::size_t i = 0; i < p.base.coef.rows(); ++i) {
+    for (std::size_t j = 0; j < p.base.coef.cols(); ++j) {
+      EXPECT_TRUE(std::isfinite(p.base.coef(i, j)));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation: dead paths and backup promotion.
+// ---------------------------------------------------------------------------
+
+TEST(RobustPredictor, DeadPathDroppedAndBackupPromoted) {
+  const linalg::Matrix a = random_matrix(10, 15, 6);
+  const linalg::Vector mu(10, 300.0);
+  RobustOptions opt;
+  opt.backup_order = {0, 1, 2, 3, 4, 5, 6};  // pivot order stand-in
+  const auto p = make_robust_path_predictor(a, mu, {0, 1, 2}, {1}, opt);
+  EXPECT_EQ(p.status.health, PredictorHealth::kDegraded);
+  ASSERT_EQ(p.status.dropped_paths, (std::vector<int>{1}));
+  // First backup not already measured and not dead is 3.
+  ASSERT_EQ(p.status.promoted_paths, (std::vector<int>{3}));
+  EXPECT_EQ(p.base.measured_paths, (std::vector<int>{0, 2, 3}));
+  // The dead path is now predicted, not measured.
+  EXPECT_NE(std::find(p.base.remaining.begin(), p.base.remaining.end(), 1),
+            p.base.remaining.end());
+}
+
+TEST(RobustPredictor, NoBackupPromotionWhenDisabled) {
+  const linalg::Matrix a = random_matrix(10, 15, 7);
+  const linalg::Vector mu(10, 300.0);
+  RobustOptions opt;
+  opt.promote_backups = false;
+  opt.backup_order = {3, 4, 5};
+  const auto p = make_robust_path_predictor(a, mu, {0, 1, 2}, {1}, opt);
+  EXPECT_TRUE(p.status.promoted_paths.empty());
+  EXPECT_EQ(p.base.measured_paths, (std::vector<int>{0, 2}));
+  EXPECT_EQ(p.status.health, PredictorHealth::kDegraded);
+}
+
+// ---------------------------------------------------------------------------
+// Per-die robust prediction.
+// ---------------------------------------------------------------------------
+
+TEST(RobustPredictor, CleanMeasurementsMatchTheorem2) {
+  // With no noise prior the robust path reduces to the optimal linear
+  // predictor: identical predictions on exact measurements.
+  const linalg::Matrix a = random_matrix(12, 20, 8);
+  const linalg::Vector mu(12, 400.0);
+  const std::vector<int> rep{0, 3, 5, 7};
+  const LinearPredictor lp = make_path_predictor(a, mu, rep);
+  const auto rp = make_robust_path_predictor(a, mu, rep);
+  ASSERT_EQ(rp.status.health, PredictorHealth::kOk);
+
+  util::Rng rng(80);
+  linalg::Vector x(20);
+  for (int trial = 0; trial < 10; ++trial) {
+    for (double& v : x) v = rng.normal();
+    const linalg::Vector d = linalg::matvec(a, x);
+    linalg::Vector meas(rep.size());
+    for (std::size_t k = 0; k < rep.size(); ++k) {
+      meas[k] = mu[static_cast<std::size_t>(rep[k])] +
+                d[static_cast<std::size_t>(rep[k])];
+    }
+    const linalg::Vector want = lp.predict(meas);
+    const RobustPrediction got = rp.predict(meas);
+    EXPECT_EQ(got.health, PredictorHealth::kOk);
+    ASSERT_EQ(got.values.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_NEAR(got.values[i], want[i], 1e-7);
+    }
+  }
+}
+
+TEST(RobustPredictor, SizeMismatchAndAllInvalidFallBackToNominal) {
+  const linalg::Matrix a = random_matrix(8, 12, 9);
+  const linalg::Vector mu(8, 250.0);
+  const auto p = make_robust_path_predictor(a, mu, {0, 1, 2});
+  // Wrong measurement count: nominal fallback, no throw.
+  EXPECT_NO_THROW({
+    const RobustPrediction pr = p.predict(linalg::Vector{1.0});
+    EXPECT_EQ(pr.health, PredictorHealth::kFailed);
+    EXPECT_EQ(pr.values, p.base.mu_rem);
+  });
+  // All slots invalid on this die.
+  const linalg::Vector meas(3, 100.0);
+  const std::vector<char> none(3, 0);
+  const RobustPrediction pr = p.predict(meas, none);
+  EXPECT_EQ(pr.health, PredictorHealth::kFailed);
+  EXPECT_EQ(pr.values, p.base.mu_rem);
+  EXPECT_EQ(pr.missing.size(), 3u);
+}
+
+TEST(RobustPredictor, NonFiniteMeasurementIsScreenedAsMissing) {
+  const linalg::Matrix a = random_matrix(8, 12, 10);
+  const linalg::Vector mu(8, 250.0);
+  RobustOptions opt;
+  opt.measurement_sigma_ps = 1.0;
+  const auto p = make_robust_path_predictor(a, mu, {0, 1, 2, 3}, {}, opt);
+  linalg::Vector meas = p.base.mu_meas;
+  meas[1] = std::numeric_limits<double>::quiet_NaN();
+  const RobustPrediction pr = p.predict(meas);
+  EXPECT_EQ(pr.missing, (std::vector<int>{1}));
+  EXPECT_EQ(pr.health, PredictorHealth::kDegraded);
+  for (double v : pr.values) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(RobustPredictor, GrossOutlierIsScreenedAndContained) {
+  const linalg::Matrix a = random_matrix(14, 20, 11);
+  const linalg::Vector mu(14, 500.0);
+  const std::vector<int> rep{0, 2, 4, 6, 8, 10};
+  RobustOptions opt;
+  opt.measurement_sigma_ps = 1.0;
+  const auto rp = make_robust_path_predictor(a, mu, rep, {}, opt);
+  ASSERT_TRUE(rp.status.usable());
+
+  util::Rng rng(110);
+  linalg::Vector x(20);
+  for (double& v : x) v = rng.normal();
+  const linalg::Vector d = linalg::matvec(a, x);
+  linalg::Vector clean(rep.size());
+  for (std::size_t k = 0; k < rep.size(); ++k) {
+    clean[k] = mu[static_cast<std::size_t>(rep[k])] +
+               d[static_cast<std::size_t>(rep[k])];
+  }
+  const RobustPrediction base = rp.predict(clean);
+
+  linalg::Vector corrupted = clean;
+  corrupted[2] += 500.0;  // absurd tester reading on one slot
+  const RobustPrediction robust = rp.predict(corrupted);
+  EXPECT_NE(std::find(robust.screened.begin(), robust.screened.end(), 2),
+            robust.screened.end());
+  EXPECT_EQ(robust.health, PredictorHealth::kDegraded);
+
+  // Naive linear map on the same corrupted vector, for contrast.
+  const linalg::Vector naive = rp.base.predict(corrupted);
+  double err_robust = 0.0, err_naive = 0.0;
+  for (std::size_t i = 0; i < base.values.size(); ++i) {
+    err_robust = std::max(err_robust,
+                          std::abs(robust.values[i] - base.values[i]));
+    err_naive = std::max(err_naive, std::abs(naive[i] - base.values[i]));
+  }
+  // Screening must keep the corrupted prediction close to the clean one
+  // while the naive map is dragged far off by the outlier.
+  EXPECT_LT(err_robust, 0.2 * err_naive);
+}
+
+TEST(RobustPredictor, ErrorSigmasInflatedByNoisePrior) {
+  const linalg::Matrix a = random_matrix(10, 14, 12);
+  const linalg::Vector mu(10, 350.0);
+  RobustOptions opt;
+  opt.measurement_sigma_ps = 5.0;
+  const auto p = make_robust_path_predictor(a, mu, {0, 1, 2}, {}, opt);
+  const linalg::Vector clean = p.base.error_sigmas();
+  const linalg::Vector noisy = p.error_sigmas();
+  ASSERT_EQ(clean.size(), noisy.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_GE(noisy[i], clean[i]);
+  }
+  EXPECT_GE(p.status.sigma_inflation, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injected Monte Carlo: determinism, degradation, robust vs naive.
+// ---------------------------------------------------------------------------
+
+struct Fixture {
+  circuit::Netlist nl;
+  circuit::GateLibrary lib;
+  std::unique_ptr<timing::TimingGraph> tg;
+  std::vector<timing::Path> paths;
+  timing::SegmentDecomposition dec;
+  std::unique_ptr<variation::SpatialModel> spatial;
+  std::unique_ptr<variation::VariationModel> model;
+
+  explicit Fixture(std::size_t max_paths = 80)
+      : nl(circuit::generate_benchmark("s1196")) {
+    circuit::place(nl);
+    tg = std::make_unique<timing::TimingGraph>(nl, lib);
+    paths = timing::enumerate_worst_paths(*tg, {.max_paths = max_paths});
+    dec = timing::extract_segments(nl, paths);
+    spatial = std::make_unique<variation::SpatialModel>(3);
+    model = std::make_unique<variation::VariationModel>(
+        *tg, *spatial, paths, dec, variation::VariationOptions{});
+  }
+};
+
+RobustPredictor fixture_predictor(const Fixture& f, std::size_t n_rep,
+                                  const FaultSpec& spec,
+                                  const std::vector<int>& dead = {}) {
+  const SubsetSelector sel(f.model->a());
+  const auto order = sel.select(std::min(sel.rank(), n_rep + 8));
+  std::vector<int> rep(order.begin(),
+                       order.begin() + static_cast<std::ptrdiff_t>(
+                                           std::min(n_rep, order.size())));
+  RobustOptions opt;
+  opt.backup_order = order;
+  opt.measurement_sigma_ps =
+      expected_noise_sigma(spec, f.model->mu_paths());
+  return make_robust_path_predictor(f.model->a(), f.model->mu_paths(), rep,
+                                    dead, opt);
+}
+
+TEST(FaultyMonteCarlo, BitIdenticalAcrossThreadCounts) {
+  Fixture f;
+  FaultyMcOptions opt;
+  opt.mc.samples = 256;
+  opt.mc.chunk = 32;
+  opt.mc.seed = 123;
+  opt.faults.noise_sigma_frac = 0.01;
+  opt.faults.outlier_rate = 0.1;
+  opt.faults.dropout_rate = 0.1;
+  const RobustPredictor p = fixture_predictor(f, 8, opt.faults);
+  ASSERT_TRUE(p.status.usable());
+
+  const std::size_t saved_threads = util::thread_count();
+  std::vector<FaultyMcMetrics> runs;
+  for (std::size_t nt : {1u, 4u, 8u}) {
+    util::set_threads(nt);
+    runs.push_back(evaluate_predictor_under_faults(*f.model, p, opt));
+  }
+  util::set_threads(saved_threads);
+  for (std::size_t k = 1; k < runs.size(); ++k) {
+    // Exact equality: fault schedules and samples are keyed on the global
+    // die index, partials reduced in fixed chunk order.
+    EXPECT_EQ(runs[0].metrics.e1, runs[k].metrics.e1);
+    EXPECT_EQ(runs[0].metrics.e2, runs[k].metrics.e2);
+    EXPECT_EQ(runs[0].metrics.worst_eps, runs[k].metrics.worst_eps);
+    EXPECT_EQ(runs[0].failed_dies, runs[k].failed_dies);
+    EXPECT_EQ(runs[0].mean_screened, runs[k].mean_screened);
+    EXPECT_EQ(runs[0].mean_missing, runs[k].mean_missing);
+    EXPECT_EQ(runs[0].mean_outliers, runs[k].mean_outliers);
+    ASSERT_EQ(runs[0].metrics.eps_max.size(), runs[k].metrics.eps_max.size());
+    for (std::size_t i = 0; i < runs[0].metrics.eps_max.size(); ++i) {
+      EXPECT_EQ(runs[0].metrics.eps_max[i], runs[k].metrics.eps_max[i]);
+      EXPECT_EQ(runs[0].metrics.eps_mean[i], runs[k].metrics.eps_mean[i]);
+    }
+  }
+}
+
+TEST(FaultyMonteCarlo, CleanFaultsMatchCleanEvaluator) {
+  // A clean FaultSpec and zero noise prior reproduce the classic protocol.
+  Fixture f(40);
+  const SubsetSelector sel(f.model->a());
+  const auto rep = sel.select(5);
+  const LinearPredictor lp =
+      make_path_predictor(f.model->a(), f.model->mu_paths(), rep);
+  const auto rp =
+      make_robust_path_predictor(f.model->a(), f.model->mu_paths(), rep);
+  FaultyMcOptions opt;
+  opt.mc.samples = 300;
+  const McMetrics clean = evaluate_predictor(*f.model, lp, opt.mc);
+  const FaultyMcMetrics faulty =
+      evaluate_predictor_under_faults(*f.model, rp, opt);
+  EXPECT_NEAR(faulty.metrics.e1, clean.e1, 1e-9);
+  EXPECT_NEAR(faulty.metrics.e2, clean.e2, 1e-9);
+  EXPECT_EQ(faulty.failed_dies, 0u);
+  EXPECT_DOUBLE_EQ(faulty.mean_missing, 0.0);
+}
+
+TEST(FaultyMonteCarlo, RobustBeatsNaiveUnderOutliers) {
+  Fixture f;
+  FaultSpec spec;
+  spec.noise_sigma_frac = 0.01;
+  spec.outlier_rate = 0.2;
+  spec.outlier_scale = 20.0;
+  const RobustPredictor p = fixture_predictor(f, 8, spec);
+  ASSERT_TRUE(p.status.usable());
+
+  FaultyMcOptions robust_opt;
+  robust_opt.mc.samples = 200;
+  robust_opt.faults = spec;
+  FaultyMcOptions naive_opt = robust_opt;
+  naive_opt.naive = true;
+
+  const FaultyMcMetrics robust =
+      evaluate_predictor_under_faults(*f.model, p, robust_opt);
+  const FaultyMcMetrics naive =
+      evaluate_predictor_under_faults(*f.model, p, naive_opt);
+  EXPECT_GT(robust.mean_screened, 0.0);
+  EXPECT_GT(robust.mean_outliers, 0.0);
+  EXPECT_LT(robust.metrics.e1, naive.metrics.e1);
+  EXPECT_LT(robust.metrics.e2, naive.metrics.e2);
+}
+
+TEST(FaultyMonteCarlo, DeadRepPathDegradesGracefully) {
+  Fixture f;
+  FaultSpec spec = default_fault_spec();  // dead_slots = {0}
+  const SubsetSelector sel(f.model->a());
+  const auto order = sel.select(std::min<std::size_t>(sel.rank(), 16));
+  const std::vector<int> rep(order.begin(), order.begin() + 8);
+  // The robust flow excludes the dead path at build time and evaluates with
+  // the dead slot stripped from the schedule (the rebuilt predictor's
+  // measurement vector no longer contains it).
+  RobustOptions opt;
+  opt.backup_order = order;
+  opt.measurement_sigma_ps = expected_noise_sigma(spec, f.model->mu_paths());
+  const auto p = make_robust_path_predictor(
+      f.model->a(), f.model->mu_paths(), rep, {rep[0]}, opt);
+  EXPECT_EQ(p.status.health, PredictorHealth::kDegraded);
+  EXPECT_EQ(p.status.dropped_paths, (std::vector<int>{rep[0]}));
+  EXPECT_EQ(p.status.promoted_paths.size(), 1u);
+
+  FaultyMcOptions mc;
+  mc.mc.samples = 200;
+  mc.faults = without_dead_slots(spec);
+  FaultyMcMetrics m;
+  EXPECT_NO_THROW(m = evaluate_predictor_under_faults(*f.model, p, mc));
+  EXPECT_EQ(m.failed_dies, 0u);
+  EXPECT_GT(m.metrics.e1, 0.0);
+  EXPECT_LT(m.metrics.e1, 1.0);  // still a sane predictor, not garbage
+}
+
+TEST(FaultyMonteCarlo, NoLinalgEscapeOnPathologicalInputs) {
+  // Rank-deficient sensitivities + full dropout + dead slots: the evaluation
+  // must stay defined (possibly all-failed dies), never throw.
+  const linalg::Matrix a =
+      linalg::multiply(random_matrix(10, 2, 13), random_matrix(2, 8, 14));
+  const linalg::Vector mu(10, 100.0);
+  const auto p = make_robust_path_predictor(a, mu, {0, 1, 2, 3});
+  EXPECT_TRUE(p.status.usable());  // degraded via ridge, but usable
+
+  Fixture f(20);
+  // Unusable predictor: every die is a failed die, metrics stay zero.
+  const auto failed =
+      make_robust_path_predictor(f.model->a(), f.model->mu_paths(), {});
+  FaultyMcOptions opt;
+  opt.mc.samples = 50;
+  opt.faults = default_fault_spec();
+  FaultyMcMetrics m;
+  EXPECT_NO_THROW(m = evaluate_predictor_under_faults(*f.model, failed, opt));
+  EXPECT_EQ(m.failed_dies, 50u);
+  EXPECT_EQ(m.metrics.e1, 0.0);
+
+  // Full dropout on a usable predictor: all dies fall back to nominal.
+  const SubsetSelector sel(f.model->a());
+  const auto rp = make_robust_path_predictor(f.model->a(),
+                                             f.model->mu_paths(), sel.select(4));
+  FaultyMcOptions drop;
+  drop.mc.samples = 50;
+  drop.faults.dropout_rate = 1.0;
+  EXPECT_NO_THROW(m = evaluate_predictor_under_faults(*f.model, rp, drop));
+  EXPECT_EQ(m.failed_dies, 50u);
+
+  // Zero samples: defined empty result.
+  FaultyMcOptions none;
+  none.mc.samples = 0;
+  EXPECT_NO_THROW(m = evaluate_predictor_under_faults(*f.model, rp, none));
+  EXPECT_EQ(m.metrics.samples, 0u);
+}
+
+}  // namespace
+}  // namespace repro::core

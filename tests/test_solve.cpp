@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "linalg/gemm.h"
 #include "util/rng.h"
 
@@ -90,6 +93,80 @@ TEST(SpdSolve, SingularGramRegularized) {
   const Vector x = spd_solve(s, in_range);
   const Vector sx = matvec(s, x);
   for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(sx[i], in_range[i], 1e-5);
+}
+
+TEST(Condest, IdentityAndScaledDiagonal) {
+  EXPECT_NEAR(condest_spd(Matrix::identity(6)), 1.0, 1e-12);
+  // diag(1, ..., 1e-6): cond_1 = 1e6 exactly; the estimator is exact for
+  // diagonal matrices.
+  Vector d(5, 1.0);
+  d.back() = 1e-6;
+  EXPECT_NEAR(condest_spd(Matrix::diagonal(d)), 1e6, 1.0);
+}
+
+TEST(Condest, LowerBoundsTrueCondition) {
+  // Hager's estimate never exceeds the true cond_1 and is rarely far below.
+  const Matrix a = random_matrix(12, 12, 21);
+  const Matrix s = gram(a);  // SPD with interesting conditioning
+  const Matrix sinv = pseudo_inverse(s);
+  const double exact = one_norm(s) * one_norm(sinv);
+  const double est = condest_spd(s);
+  EXPECT_LE(est, exact * (1.0 + 1e-9));
+  EXPECT_GE(est, 0.1 * exact);
+}
+
+TEST(Condest, SingularIsInfinite) {
+  EXPECT_TRUE(std::isinf(condest_spd(Matrix(3, 3))));
+}
+
+TEST(SpdSolveRobust, WellConditionedMatchesPlainSolve) {
+  const Matrix s = gram(random_matrix(8, 10, 22));
+  const Matrix b = random_matrix(8, 3, 23);
+  SpdSolveInfo info;
+  const Matrix x = spd_solve_robust(s, b, &info);
+  EXPECT_TRUE(info.ok);
+  EXPECT_FALSE(info.regularized);
+  EXPECT_GT(info.condition, 0.0);
+  EXPECT_LT(max_abs_diff(multiply(s, x), b), 1e-6);
+}
+
+TEST(SpdSolveRobust, SingularGramTriggersReportedRidge) {
+  // rank-2 Gram of an 6x2-derived matrix: singular, needs the ridge.
+  const Matrix a = multiply(random_matrix(6, 2, 24), random_matrix(2, 9, 25));
+  const Matrix s = gram(a);
+  const Matrix b = random_matrix(6, 1, 26);
+  SpdSolveInfo info;
+  const Matrix x = spd_solve_robust(s, b, &info);
+  EXPECT_TRUE(info.ok);
+  EXPECT_TRUE(info.regularized);
+  EXPECT_GT(info.ridge, 0.0);
+  EXPECT_GT(info.condition, 1e12);  // original system was (near) singular
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_TRUE(std::isfinite(x(i, 0)));
+  }
+}
+
+TEST(SpdSolveRobust, NonFiniteInputFailsWithoutThrowing) {
+  Matrix s = Matrix::identity(3);
+  s(1, 1) = std::numeric_limits<double>::quiet_NaN();
+  SpdSolveInfo info;
+  EXPECT_NO_THROW({
+    (void)spd_solve_robust(s, Matrix(3, 1), &info);
+  });
+  EXPECT_FALSE(info.ok);
+}
+
+TEST(SpdSolveRobust, VectorOverloadMatchesMatrix) {
+  const Matrix s = gram(random_matrix(5, 7, 27));
+  Vector b(5);
+  for (std::size_t i = 0; i < 5; ++i) b[i] = static_cast<double>(i) - 2.0;
+  Matrix bm(5, 1);
+  for (std::size_t i = 0; i < 5; ++i) bm(i, 0) = b[i];
+  SpdSolveInfo iv, im;
+  const Vector xv = spd_solve_robust(s, b, &iv);
+  const Matrix xm = spd_solve_robust(s, bm, &im);
+  ASSERT_TRUE(iv.ok);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(xv[i], xm(i, 0));
 }
 
 }  // namespace
