@@ -6,15 +6,18 @@
 // cost ~k^2-fold at the price of a somewhat larger representative set.
 #include <cstdio>
 
+#include "bench_common.h"
 #include "core/benchmarks.h"
 #include "core/clustering.h"
 #include "core/monte_carlo.h"
 #include "core/path_selection.h"
 #include "util/stopwatch.h"
+#include "util/telemetry.h"
 #include "util/text.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
+  bench::Harness h("ablation_clustering", argc, argv);
   const int scale = util::repro_scale_mode();
   const std::string bench = (scale == 2) ? "s9234" : "s1423";
 
@@ -31,13 +34,18 @@ int main() {
   core::McOptions mc;
   mc.samples = core::default_mc_samples() / 2;
 
+  double direct_secs = 0.0;
+  std::size_t direct_pr = 0;
   {
     util::Stopwatch sw;
+    const util::telemetry::Span span("bench.direct");
     core::PathSelectionOptions opt;
     opt.epsilon = 0.05;
     const core::PathSelectionResult direct =
         core::select_representative_paths(a, e.t_cons_ps(), opt);
     const double secs = sw.seconds();
+    direct_secs = secs;
+    direct_pr = direct.representatives.size();
     const core::LinearPredictor pred = core::make_path_predictor(
         a, e.model().mu_paths(), direct.representatives);
     const core::McMetrics m = core::evaluate_predictor(e.model(), pred, mc);
@@ -47,8 +55,11 @@ int main() {
     std::fflush(stdout);
   }
 
+  double best_clustered_secs = 0.0;
+  std::size_t clustered_runs = 0;
   for (std::size_t k : {2u, 4u, 8u, 16u}) {
     util::Stopwatch sw;
+    const util::telemetry::Span span("bench.clustered");
     core::ClusteredSelectionOptions copt;
     copt.num_clusters = k;
     copt.selection.epsilon = 0.05;
@@ -63,9 +74,17 @@ int main() {
                    util::fmt_percent(r.eps_r, 2),
                    std::to_string(r.greedy_additions),
                    util::fmt_percent(m.e1, 2), util::fmt_double(secs, 2)});
+    if (clustered_runs == 0 || secs < best_clustered_secs) {
+      best_clustered_secs = secs;
+    }
+    ++clustered_runs;
     std::fflush(stdout);
   }
   std::printf("%s\nCSV\n%s", table.render().c_str(),
               table.render_csv().c_str());
-  return 0;
+  h.metric("direct_pr", direct_pr);
+  h.metric("direct_secs", direct_secs);
+  h.metric("best_clustered_secs", best_clustered_secs);
+  h.metric("clustered_runs", clustered_runs);
+  return h.finish(clustered_runs > 0);
 }

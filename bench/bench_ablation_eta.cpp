@@ -5,18 +5,22 @@
 // reports the effective rank, the matching selection size from Algorithm 1
 // run at the corresponding tolerance, and the observed e1 — showing the
 // smooth accuracy/effort trade-off the paper's Figure 2 implies.
+#include <algorithm>
 #include <cstdio>
 
+#include "bench_common.h"
 #include "core/benchmarks.h"
 #include "core/effective_rank.h"
 #include "core/monte_carlo.h"
 #include "core/path_selection.h"
 #include "linalg/gemm.h"
 #include "linalg/svd.h"
+#include "util/telemetry.h"
 #include "util/text.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
+  bench::Harness h("ablation_eta", argc, argv);
   const int scale = util::repro_scale_mode();
   std::vector<std::string> benches{"s1423"};
   if (scale == 2) benches = {"s1423", "s9234"};
@@ -24,7 +28,10 @@ int main() {
   std::printf("=== Ablation A: effective-rank threshold eta ===\n\n");
   util::TextTable table({"BENCH", "eta%", "effrank", "eps_tol%", "|Pr|",
                          "e1%", "e2%"});
+  std::size_t points = 0;
+  double worst_e1 = 0.0;
   for (const std::string& name : benches) {
+    const util::telemetry::Span bench_span("bench.circuit");
     const core::Experiment e(core::default_experiment_config(name));
     const auto& a = e.model().a();
     const linalg::Matrix gram = linalg::gram(a);
@@ -48,10 +55,14 @@ int main() {
                      util::fmt_percent(opt.epsilon, 0),
                      std::to_string(sel.representatives.size()),
                      util::fmt_percent(m.e1, 2), util::fmt_percent(m.e2, 2)});
+      worst_e1 = std::max(worst_e1, m.e1);
+      ++points;
       std::fflush(stdout);
     }
   }
   std::printf("%s\nCSV\n%s", table.render().c_str(),
               table.render_csv().c_str());
-  return 0;
+  h.metric("sweep_points", points);
+  h.metric("worst_e1", worst_e1);
+  return h.finish(points > 0);
 }

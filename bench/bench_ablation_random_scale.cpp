@@ -7,15 +7,18 @@
 // representative paths would dramatically grow" with random variation.
 #include <cstdio>
 
+#include "bench_common.h"
 #include "core/benchmarks.h"
 #include "core/effective_rank.h"
 #include "core/monte_carlo.h"
 #include "core/path_selection.h"
 #include "linalg/gemm.h"
+#include "util/telemetry.h"
 #include "util/text.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
+  bench::Harness h("ablation_random_scale", argc, argv);
   const int scale_mode = util::repro_scale_mode();
   const std::string bench = "s1423";
   std::vector<double> scales{1.0, 2.0, 3.0, 4.0};
@@ -33,7 +36,11 @@ int main() {
     cfgs.push_back(core::default_experiment_config(bench));
     cfgs.back().random_scale = s;
   }
-  const auto experiments = core::build_experiments(cfgs);
+  const auto experiments = [&] {
+    const util::telemetry::Span span("bench.build_experiment");
+    return core::build_experiments(cfgs);
+  }();
+  std::size_t first_pr = 0, last_pr = 0;
   for (std::size_t ei = 0; ei < experiments.size(); ++ei) {
     const double s = scales[ei];
     const core::Experiment& e = *experiments[ei];
@@ -57,9 +64,15 @@ int main() {
                        selector.singular_values(), 0.05)),
                    std::to_string(sel.representatives.size()),
                    util::fmt_percent(m.e1, 2), util::fmt_percent(m.e2, 2)});
+    if (ei == 0) first_pr = sel.representatives.size();
+    last_pr = sel.representatives.size();
     std::fflush(stdout);
   }
   std::printf("%s\nCSV\n%s", table.render().c_str(),
               table.render_csv().c_str());
-  return 0;
+  h.metric("sweep_points", experiments.size());
+  h.metric("pr_at_min_scale", first_pr);
+  h.metric("pr_at_max_scale", last_pr);
+  // The paper's claim: more random variation needs more representatives.
+  return h.finish(!experiments.empty() && last_pr >= first_pr);
 }

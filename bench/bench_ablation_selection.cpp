@@ -9,14 +9,17 @@
 // factorization-cheap but slightly less targeted at small r.
 #include <cstdio>
 
+#include "bench_common.h"
 #include "core/benchmarks.h"
 #include "core/error_model.h"
 #include "core/subset_select.h"
 #include "linalg/gemm.h"
+#include "util/telemetry.h"
 #include "util/text.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
+  bench::Harness h("ablation_selection", argc, argv);
   const int scale = util::repro_scale_mode();
   std::vector<std::string> benches{"s1423", "s5378"};
   if (scale == 0) benches = {"s1423"};
@@ -24,7 +27,9 @@ int main() {
   std::printf("=== Ablation D: Algorithm-2 (SVD+QRCP) vs greedy pivot "
               "selection ===\n\n");
   util::TextTable table({"BENCH", "r", "eps_r(alg2)%", "eps_r(greedy)%"});
+  std::size_t points = 0, alg2_wins = 0;
   for (const std::string& name : benches) {
+    const util::telemetry::Span bench_span("bench.circuit");
     const core::Experiment e(core::default_experiment_config(name));
     const auto& a = e.model().a();
     const linalg::Matrix gram = linalg::gram(a);
@@ -41,10 +46,14 @@ int main() {
           gram, greedy, e.t_cons_ps(), 3.0);
       table.add_row({name, std::to_string(r), util::fmt_percent(e2.eps_r, 2),
                      util::fmt_percent(eg.eps_r, 2)});
+      if (e2.eps_r <= eg.eps_r) ++alg2_wins;
+      ++points;
       std::fflush(stdout);
     }
   }
   std::printf("%s\nCSV\n%s", table.render().c_str(),
               table.render_csv().c_str());
-  return 0;
+  h.metric("sweep_points", points);
+  h.metric("alg2_wins", alg2_wins);
+  return h.finish(points > 0);
 }

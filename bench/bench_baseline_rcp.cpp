@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_common.h"
 #include "core/baseline_rcp.h"
 #include "core/benchmarks.h"
 #include "core/monte_carlo.h"
@@ -17,10 +18,12 @@
 #include "timing/ssta.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/telemetry.h"
 #include "util/text.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
+  bench::Harness h("baseline_rcp", argc, argv);
   const int scale = util::repro_scale_mode();
   std::vector<std::string> benches{"s1196", "s1423", "s5378"};
   if (scale == 0) benches = {"s1196"};
@@ -29,7 +32,10 @@ int main() {
               "framework ===\n\n");
   util::TextTable table({"BENCH", "rcp_corr", "chip_err%", "rcp_path_e1%",
                          "fw_|Pr|", "fw_e1%"});
+  double s_corr = 0, s_chip = 0, s_rcp_e1 = 0, s_fw_e1 = 0;
+  int rows = 0;
   for (const std::string& name : benches) {
+    const util::telemetry::Span bench_span("bench.circuit");
     const core::Experiment e(core::default_experiment_config(name));
     const auto& m = e.model();
     const timing::SstaResult ssta =
@@ -73,6 +79,11 @@ int main() {
                    util::fmt_percent(rcp_paths.e1, 2),
                    std::to_string(sel.representatives.size()),
                    util::fmt_percent(fw_paths.e1, 2)});
+    s_corr += rcp.correlation;
+    s_chip += chip_err.mean();
+    s_rcp_e1 += rcp_paths.e1;
+    s_fw_e1 += fw_paths.e1;
+    ++rows;
     std::fflush(stdout);
   }
   std::printf("%s\nCSV\n%s", table.render().c_str(),
@@ -81,5 +92,13 @@ int main() {
       "\nReading: the RCP predicts the chip delay well (chip_err) but its\n"
       "single measurement leaves large per-path errors (rcp_path_e1); the\n"
       "framework's |Pr| measurements bring every path under eps = 5%%.\n");
-  return 0;
+  if (rows > 0) {
+    const double n = rows;
+    h.metric("benches", static_cast<std::size_t>(rows));
+    h.metric("avg_rcp_correlation", s_corr / n);
+    h.metric("avg_rcp_chip_err", s_chip / n);
+    h.metric("avg_rcp_path_e1", s_rcp_e1 / n);
+    h.metric("avg_fw_e1", s_fw_e1 / n);
+  }
+  return h.finish(rows > 0);
 }

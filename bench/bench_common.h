@@ -1,0 +1,157 @@
+// Shared bench harness: every binary in bench/ funnels its run through a
+// Harness so the cross-PR perf trajectory is a uniform, schema-versioned
+// BENCH_<name>.json record instead of free-form stdout.
+//
+// Record shape (schema_version 1):
+//
+//   {
+//     "schema_version": 1,
+//     "bench": "<name>",
+//     "git": "<git describe --always --dirty>",
+//     "threads": <pool concurrency>,
+//     "scale_mode": "fast" | "default" | "full",
+//     "wall_s": <total wall-clock>,
+//     "ok": true | false,
+//     "metrics": { ... bench-specific scalars, insertion order ... },
+//     "telemetry": { "counters": {...}, "gauges": {...}, "spans": {...} }
+//   }
+//
+// The telemetry block is the process-wide registry snapshot (see
+// util/telemetry.h): per-phase wall-clock comes from spans the bench (and
+// the instrumented library layers) opened during the run.  The harness
+// resets the registry at construction so the record covers exactly one run.
+//
+// Output path: argv[1] when present and not a flag, else
+// BENCH_<name>.json in the current directory.  Phases inside a bench wrap
+// their work in `util::telemetry::Span span("bench.<phase>")`.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stopwatch.h"
+#include "util/telemetry.h"
+#include "util/text.h"
+#include "util/thread_pool.h"
+
+#ifndef REPRO_GIT_DESCRIBE
+#define REPRO_GIT_DESCRIBE "unknown"
+#endif
+
+namespace repro::bench {
+
+inline constexpr int kSchemaVersion = 1;
+
+class Harness {
+ public:
+  Harness(std::string name, int argc, char** argv)
+      : name_(std::move(name)) {
+    json_path_ = "BENCH_" + name_ + ".json";
+    if (argc > 1 && argv[1][0] != '-') json_path_ = argv[1];
+    util::telemetry::reset();
+  }
+
+  const std::string& json_path() const { return json_path_; }
+
+  // Bench-specific metrics, emitted under "metrics" in insertion order.
+  void metric(std::string_view key, double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    metrics_.emplace_back(std::string(key), buf);
+  }
+  void metric(std::string_view key, std::size_t v) {
+    metrics_.emplace_back(std::string(key), std::to_string(v));
+  }
+  void metric(std::string_view key, int v) {
+    metrics_.emplace_back(std::string(key), std::to_string(v));
+  }
+  void metric(std::string_view key, bool v) {
+    metrics_.emplace_back(std::string(key), v ? "true" : "false");
+  }
+  void metric(std::string_view key, const std::string& v) {
+    std::string quoted = "\"";
+    quoted += util::telemetry::json_escape(v);
+    quoted += '"';
+    metrics_.emplace_back(std::string(key), std::move(quoted));
+  }
+  void metric(std::string_view key, const char* v) {
+    metric(key, std::string(v));
+  }
+  // Pre-rendered JSON value (arrays/objects a bench assembles itself, e.g.
+  // the robustness sweeps).  The caller guarantees `raw_json` is valid JSON.
+  void metric_json(std::string_view key, std::string raw_json) {
+    metrics_.emplace_back(std::string(key), std::move(raw_json));
+  }
+
+  // Prints the telemetry report, writes the JSON record, and returns the
+  // process exit code (0 on ok and a successful write).
+  int finish(bool ok = true) {
+    const double wall_s = sw_.seconds();
+    std::string js;
+    js += "{\n  \"schema_version\": ";
+    js += std::to_string(kSchemaVersion);
+    js += ",\n  \"bench\": \"";
+    js += util::telemetry::json_escape(name_);
+    js += "\",\n  \"git\": \"";
+    js += util::telemetry::json_escape(REPRO_GIT_DESCRIBE);
+    js += "\",\n  \"threads\": ";
+    js += std::to_string(util::thread_count());
+    js += ",\n  \"scale_mode\": \"";
+    js += scale_mode_name();
+    js += "\",\n  \"wall_s\": ";
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.3f", wall_s);
+    js += buf;
+    js += ",\n  \"ok\": ";
+    js += ok ? "true" : "false";
+    js += ",\n  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      js += (i == 0) ? "\n" : ",\n";
+      js += "    \"";
+      js += util::telemetry::json_escape(metrics_[i].first);
+      js += "\": ";
+      js += metrics_[i].second;
+    }
+    js += metrics_.empty() ? "}" : "\n  }";
+    js += ",\n  \"telemetry\": ";
+    js += util::telemetry::to_json();
+    js += "\n}\n";
+
+    std::printf("\n[%s] wall %.1f s\n", name_.c_str(), wall_s);
+    if (util::telemetry::enabled()) {
+      const auto snap = util::telemetry::snapshot();
+      std::printf("[%s] telemetry: %zu spans, %zu counters\n", name_.c_str(),
+                  snap.spans.size(), snap.counters.size());
+    }
+    bool wrote = false;
+    if (std::FILE* f = std::fopen(json_path_.c_str(), "w")) {
+      wrote = std::fputs(js.c_str(), f) >= 0;
+      std::fclose(f);
+    }
+    if (wrote) {
+      std::printf("[%s] wrote %s\n", name_.c_str(), json_path_.c_str());
+    } else {
+      std::printf("[%s] ERROR: could not write %s\n", name_.c_str(),
+                  json_path_.c_str());
+    }
+    return (ok && wrote) ? 0 : 1;
+  }
+
+ private:
+  static const char* scale_mode_name() {
+    switch (util::repro_scale_mode()) {
+      case 0: return "fast";
+      case 2: return "full";
+      default: return "default";
+    }
+  }
+
+  std::string name_;
+  std::string json_path_;
+  util::Stopwatch sw_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+};
+
+}  // namespace repro::bench

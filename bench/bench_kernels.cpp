@@ -8,6 +8,7 @@
 #include <memory>
 #include <thread>
 
+#include "bench_common.h"
 #include "circuit/generator.h"
 #include "circuit/placement.h"
 #include "core/error_model.h"
@@ -249,4 +250,15 @@ BENCHMARK(BM_MonteCarloEvaluate)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark consumes its
+// --benchmark_* flags first, then the harness takes what is left (so an
+// explicit JSON output path still works) and wraps the run in the same
+// schema-versioned record as every other bench.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  repro::bench::Harness h("kernels", argc, argv);
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  h.metric("benchmarks_run", ran);
+  return h.finish(ran > 0);
+}

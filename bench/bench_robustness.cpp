@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/benchmarks.h"
 #include "core/measurement.h"
 #include "core/monte_carlo.h"
@@ -133,8 +134,7 @@ std::string json_regime(const RegimePair& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string json_path = argc > 1 ? argv[1] : "BENCH_robustness.json";
-  util::Stopwatch sw;
+  bench::Harness h("robustness", argc, argv);
   std::printf("=== Robustness: fault-injected e1/e2 on s1423 (Figure-2 "
               "circuit) ===\n\n");
 
@@ -225,43 +225,32 @@ int main(int argc, char** argv) {
                     base.naive.metrics.e1 > base.robust.metrics.e1;
   std::printf("acceptance: %s\n", pass ? "PASS" : "FAIL");
 
-  // JSON record.
-  std::string js = "{\n";
-  js += "  \"benchmark\": \"s1423\",\n";
-  char buf[256];
-  std::snprintf(buf, sizeof buf,
-                "  \"targets\": %zu, \"representatives\": %zu, \"rank\": %zu, "
-                "\"mc_samples\": %zu,\n",
-                e.target_paths().size(), rep.size(), sel.exact_rank, samples);
-  js += buf;
-  std::snprintf(buf, sizeof buf,
-                "  \"clean\": {\"e1\": %.9e, \"e2\": %.9e},\n", clean.e1,
-                clean.e2);
-  js += buf;
-  std::snprintf(buf, sizeof buf,
-                "  \"default_regime_factors\": {\"robust_vs_clean\": %.4f, "
-                "\"naive_vs_clean\": %.4f, \"pass\": %s},\n",
-                robust_factor, naive_factor, pass ? "true" : "false");
-  js += buf;
-  js += "  \"default_regime\":\n" + json_regime(base) + ",\n";
-  js += "  \"noise_sweep\": [\n";
+  // Scalars go through the harness; the per-regime records (objects the
+  // schema does not know about) ride along as pre-rendered JSON values.
+  h.metric("benchmark", "s1423");
+  h.metric("targets", e.target_paths().size());
+  h.metric("representatives", rep.size());
+  h.metric("rank", sel.exact_rank);
+  h.metric("mc_samples", samples);
+  h.metric("clean_e1", clean.e1);
+  h.metric("clean_e2", clean.e2);
+  h.metric("robust_vs_clean", robust_factor);
+  h.metric("naive_vs_clean", naive_factor);
+  h.metric("pass", pass);
+  h.metric_json("default_regime", json_regime(base));
+  std::string sweep = "[\n";
   for (std::size_t i = 0; i < noise_sweep.size(); ++i) {
-    js += json_regime(noise_sweep[i]);
-    js += (i + 1 < noise_sweep.size()) ? ",\n" : "\n";
+    sweep += json_regime(noise_sweep[i]);
+    sweep += (i + 1 < noise_sweep.size()) ? ",\n" : "\n";
   }
-  js += "  ],\n  \"dropout_sweep\": [\n";
+  sweep += "    ]";
+  h.metric_json("noise_sweep", sweep);
+  sweep = "[\n";
   for (std::size_t i = 0; i < dropout_sweep.size(); ++i) {
-    js += json_regime(dropout_sweep[i]);
-    js += (i + 1 < dropout_sweep.size()) ? ",\n" : "\n";
+    sweep += json_regime(dropout_sweep[i]);
+    sweep += (i + 1 < dropout_sweep.size()) ? ",\n" : "\n";
   }
-  js += "  ]\n}\n";
-  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-    std::fputs(js.c_str(), f);
-    std::fclose(f);
-    std::printf("\nwrote %s\n", json_path.c_str());
-  } else {
-    std::printf("\ncould not write %s\n", json_path.c_str());
-  }
-  std::printf("[robustness] done in %.1f s\n", sw.seconds());
-  return pass ? 0 : 1;
+  sweep += "    ]";
+  h.metric_json("dropout_sweep", sweep);
+  return h.finish(pass);
 }

@@ -5,15 +5,18 @@
 // Monte-Carlo prediction errors e1/e2 (%) of the approximate selection.
 #include <cstdio>
 
+#include "bench_common.h"
 #include "core/benchmarks.h"
 #include "core/monte_carlo.h"
 #include "core/path_selection.h"
 #include "linalg/gemm.h"
 #include "util/stopwatch.h"
+#include "util/telemetry.h"
 #include "util/text.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
+  bench::Harness h("table1_path_selection", argc, argv);
   const int scale = util::repro_scale_mode();
   std::vector<std::string> benches = circuit::known_benchmarks();
   if (scale == 0) {
@@ -33,10 +36,16 @@ int main() {
 
   for (const std::string& name : benches) {
     util::Stopwatch sw;
-    const core::Experiment e(core::default_experiment_config(name));
+    const core::Experiment e = [&] {
+      const util::telemetry::Span span("bench.build_experiment");
+      return core::Experiment(core::default_experiment_config(name));
+    }();
     const auto& a = e.model().a();
 
-    const linalg::Matrix gram = linalg::gram(a);
+    const linalg::Matrix gram = [&] {
+      const util::telemetry::Span span("bench.gram");
+      return linalg::gram(a);
+    }();
     const core::SubsetSelector selector = core::make_subset_selector(a, gram);
     core::PathSelectionOptions opt;
     opt.epsilon = 0.05;
@@ -72,5 +81,14 @@ int main() {
   }
   std::printf("%s\nCSV\n%s", table.render().c_str(),
               table.render_csv().c_str());
-  return 0;
+
+  if (rows > 0) {
+    const double n = rows;
+    h.metric("benches", static_cast<std::size_t>(rows));
+    h.metric("avg_exact_rank", sum_exact / n);
+    h.metric("avg_approx_size", sum_approx / n);
+    h.metric("avg_e1", sum_e1 / n);
+    h.metric("avg_e2", sum_e2 / n);
+  }
+  return h.finish(rows > 0);
 }

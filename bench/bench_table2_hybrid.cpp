@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_common.h"
 #include "core/benchmarks.h"
 #include "core/hybrid_selection.h"
 #include "core/monte_carlo.h"
@@ -16,8 +17,9 @@
 #include "util/stopwatch.h"
 #include "util/text.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
+  bench::Harness h("table2_hybrid", argc, argv);
   const int scale = util::repro_scale_mode();
   std::vector<std::string> benches = circuit::known_benchmarks();
   if (scale == 0) benches = {"s1196", "s1423", "s1488"};
@@ -42,6 +44,7 @@ int main() {
 
   for (const std::string& name : benches) {
     util::Stopwatch sw;
+    const util::telemetry::Span bench_span("bench.circuit");
     core::ExperimentConfig cfg = core::default_experiment_config(name);
     // The paper obtains its larger Table-2 pools by re-synthesizing under a
     // relaxed timing constraint; our substitute is a larger extraction cap
@@ -117,5 +120,16 @@ int main() {
   }
   std::printf("%s\nCSV\n%s", table.render().c_str(),
               table.render_csv().c_str());
-  return 0;
+  if (rows > 0) {
+    const double n = rows;
+    h.metric("benches", static_cast<std::size_t>(rows));
+    h.metric("avg_path_pr", s_ppr / n);
+    h.metric("avg_path_e1", s_pe1 / n);
+    h.metric("avg_path_e2", s_pe2 / n);
+    h.metric("avg_hybrid_pr", s_hpr / n);
+    h.metric("avg_hybrid_sr", s_hsr / n);
+    h.metric("avg_hybrid_e1", s_he1 / n);
+    h.metric("avg_hybrid_e2", s_he2 / n);
+  }
+  return h.finish(rows > 0);
 }

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "linalg/cholesky.h"
 #include "linalg/gemm.h"
+#include "util/telemetry.h"
 
 namespace repro::core {
 
@@ -13,12 +15,21 @@ SelectionErrors selection_errors_from_gram(const linalg::Matrix& gram,
                                            const std::vector<int>& rep,
                                            double t_cons, double kappa) {
   if (t_cons <= 0.0) throw std::invalid_argument("selection_errors: t_cons");
+  const util::telemetry::Span span("core.error_model");
   const std::size_t n = gram.rows();
   SelectionErrors out;
   std::vector<char> is_rep(n, 0);
   for (int i : rep) {
     if (i < 0 || static_cast<std::size_t>(i) >= n) {
       throw std::out_of_range("selection_errors: rep index");
+    }
+    // A duplicate representative makes S = W[rep, rep] exactly singular;
+    // the regularized Cholesky would absorb that silently and return wrong
+    // per-path sigmas, so reject it up front.
+    if (is_rep[static_cast<std::size_t>(i)]) {
+      throw std::invalid_argument(
+          "selection_errors: duplicate representative index " +
+          std::to_string(i));
     }
     is_rep[static_cast<std::size_t>(i)] = 1;
   }

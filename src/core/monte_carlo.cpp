@@ -7,6 +7,7 @@
 
 #include "linalg/gemm.h"
 #include "util/rng.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace repro::core {
@@ -18,6 +19,8 @@ McMetrics evaluate_predictor(const variation::VariationModel& model,
   const std::size_t n_rem = predictor.remaining.size();
   const std::size_t n_meas = predictor.mu_meas.size();
   if (n_rem == 0) throw std::invalid_argument("evaluate_predictor: no paths");
+  const util::telemetry::Span span("core.mc.evaluate");
+  util::telemetry::count("core.mc.samples", options.samples);
 
   McMetrics out;
   out.eps_max.assign(n_rem, 0.0);
@@ -108,6 +111,8 @@ FaultyMcMetrics evaluate_predictor_under_faults(
   const std::size_t m = model.num_params();
   const std::size_t n_rem = predictor.base.remaining.size();
   const std::size_t n_meas = predictor.base.mu_meas.size();
+  const util::telemetry::Span span("core.mc.evaluate_faulty");
+  util::telemetry::count("core.mc.faulty_samples", options.mc.samples);
   FaultyMcMetrics out;
   out.metrics.samples = options.mc.samples;
   out.metrics.eps_max.assign(n_rem, 0.0);
@@ -116,6 +121,7 @@ FaultyMcMetrics evaluate_predictor_under_faults(
     // Defined degradation, not a throw: every die is a nominal-fallback die.
     // Checked before n_rem: a failed construction leaves `remaining` empty.
     out.failed_dies = options.mc.samples;
+    util::telemetry::count("core.mc.dies_failed", out.failed_dies);
     return out;
   }
   if (options.mc.samples == 0 || n_rem == 0) return out;
@@ -128,6 +134,8 @@ FaultyMcMetrics evaluate_predictor_under_faults(
   std::vector<std::vector<double>> part_max(nchunks), part_sum(nchunks);
   struct Counters {
     std::size_t failed = 0;
+    std::size_t ok = 0;
+    std::size_t degraded = 0;
     std::size_t screened = 0;
     std::size_t missing = 0;
     std::size_t outliers = 0;
@@ -176,7 +184,11 @@ FaultyMcMetrics evaluate_predictor_under_faults(
         } else {
           RobustPrediction rp = predictor.predict(noisy.values, noisy.valid);
           cnt.screened += rp.screened.size();
-          if (rp.health == PredictorHealth::kFailed) ++cnt.failed;
+          switch (rp.health) {
+            case PredictorHealth::kOk: ++cnt.ok; break;
+            case PredictorHealth::kDegraded: ++cnt.degraded; break;
+            case PredictorHealth::kFailed: ++cnt.failed; break;
+          }
           pred = std::move(rp.values);
         }
         for (std::size_t i = 0; i < n_rem; ++i) {
@@ -197,6 +209,18 @@ FaultyMcMetrics evaluate_predictor_under_faults(
     out.mean_screened += static_cast<double>(part_cnt[ci].screened);
     out.mean_missing += static_cast<double>(part_cnt[ci].missing);
     out.mean_outliers += static_cast<double>(part_cnt[ci].outliers);
+  }
+  {
+    // Per-die PredictorStatus tallies, reduced once per evaluation so the
+    // hot loop never touches the registry.
+    std::size_t ok = 0, degraded = 0;
+    for (const Counters& c : part_cnt) {
+      ok += c.ok;
+      degraded += c.degraded;
+    }
+    util::telemetry::count("core.mc.dies_ok", ok);
+    util::telemetry::count("core.mc.dies_degraded", degraded);
+    util::telemetry::count("core.mc.dies_failed", out.failed_dies);
   }
   const auto samples = static_cast<double>(options.mc.samples);
   for (std::size_t i = 0; i < n_rem; ++i) {

@@ -1,8 +1,10 @@
 #include "core/path_selection.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "linalg/gemm.h"
+#include "util/telemetry.h"
 
 namespace repro::core {
 namespace {
@@ -25,13 +27,18 @@ Candidate evaluate(const SubsetSelector& selector, const linalg::Matrix& gram,
 PathSelectionResult select_representative_paths(
     const SubsetSelector& selector, const linalg::Matrix& gram, double t_cons,
     const PathSelectionOptions& options) {
+  const util::telemetry::Span span("core.select");
   const std::size_t rank = selector.rank();
   if (rank == 0) {
     throw std::invalid_argument("select_representative_paths: rank(A) == 0");
   }
   PathSelectionResult out;
   out.exact_rank = rank;
-  const std::size_t min_r = std::max<std::size_t>(options.min_r, 1);
+  // min_r above rank is unreachable (the search space is [1, rank]); clamp
+  // so both drivers agree on the edge instead of the bisection loop silently
+  // never running and falling back to the exact selection.
+  const std::size_t min_r =
+      std::min(rank, std::max<std::size_t>(options.min_r, 1));
 
   Candidate best;
   bool have_best = false;
@@ -76,6 +83,7 @@ PathSelectionResult select_representative_paths(
     ++out.candidates_evaluated;
   }
 
+  util::telemetry::count("core.select.candidates", out.candidates_evaluated);
   out.representatives = std::move(best.rep);
   out.errors = std::move(best.errors);
   out.eps_r = out.errors.eps_r;
@@ -87,6 +95,7 @@ PathSelectionResult select_representative_paths(
     const linalg::Matrix* gram) {
   linalg::Matrix w_local;
   if (gram == nullptr) {
+    const util::telemetry::Span span("core.select.gram");
     w_local = linalg::gram(a);
     gram = &w_local;
   }

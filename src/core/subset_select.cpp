@@ -9,6 +9,7 @@
 #include "linalg/eigen_sym.h"
 #include "linalg/qr_colpivot.h"
 #include "linalg/randomized_eig.h"
+#include "util/telemetry.h"
 
 namespace repro::core {
 namespace {
@@ -25,6 +26,7 @@ double gram_rank_rel_tol(std::size_t rows, std::size_t cols) {
 
 SubsetSelector::SubsetSelector(const linalg::Matrix& a)
     : svd_(linalg::svd(a)), rows_(a.rows()), cols_(a.cols()) {
+  util::telemetry::count("core.select.svd_route");
   if (!svd_.converged) {
     throw std::runtime_error("SubsetSelector: SVD did not converge");
   }
@@ -46,6 +48,8 @@ SubsetSelector::SubsetSelector(const linalg::Matrix& a,
   if (gram.rows() != a.rows() || gram.cols() != a.rows()) {
     throw std::invalid_argument("SubsetSelector: gram shape mismatch");
   }
+  const util::telemetry::Span span("core.select.factorize");
+  util::telemetry::count("core.select.gram_route");
   const std::size_t n = a.rows();
   svd_.converged = true;
   gram_ = gram;
@@ -81,6 +85,7 @@ SubsetSelector::SubsetSelector(const linalg::Matrix& a,
 
 void SubsetSelector::ensure_captured(std::size_t k) const {
   if (!lazy_ || svd_.s.size() >= k) return;
+  const util::telemetry::Span span("core.select.eig_capture");
   linalg::RandomizedEigOptions opt;
   opt.initial_rank = std::min(rows_, std::max(k, 2 * svd_.s.size()));
   opt.adaptive = false;  // capture exactly what was asked (plus oversample)

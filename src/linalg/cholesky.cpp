@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/telemetry.h"
+
 namespace repro::linalg {
 
 CholFactors chol_factor(Matrix s) {
@@ -50,6 +52,9 @@ RegularizedChol try_chol_factor_regularized(const Matrix& s,
     out.factors = chol_factor(std::move(sj));
     if (out.factors.ok) {
       out.jitter = jitter;
+      if (jitter > initial_jitter) {
+        util::telemetry::count("linalg.chol.jitter_fallbacks");
+      }
       return out;
     }
     jitter = (jitter == 0.0) ? scale * 1e-14 : jitter * 10.0;

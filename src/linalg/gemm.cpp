@@ -3,10 +3,20 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace repro::linalg {
 namespace {
+
+// One counter pair for all four GEMM entry points: call count and the
+// multiply-add FLOP estimate (2 * m * k * n; the Gram variants count the
+// triangle they actually compute).  Incremented once per call, never per
+// element, so the MC hot loop pays one relaxed-atomic bump per chunk GEMM.
+void count_gemm(std::size_t flops) {
+  util::telemetry::count("linalg.gemm.calls");
+  util::telemetry::count("linalg.gemm.flops", flops);
+}
 
 // Runs fn(begin, end) over [0, total) through the shared thread pool.  Every
 // output row is computed by exactly one chunk with the same sequential inner
@@ -36,6 +46,7 @@ Matrix multiply(const Matrix& a, const Matrix& b) {
                                 b.shape_string());
   }
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  count_gemm(2 * m * k * n);
   Matrix c(m, n);
   parallel_rows(m, k * n, [&](std::size_t rb, std::size_t re) {
     for (std::size_t i = rb; i < re; ++i) {
@@ -57,6 +68,7 @@ Matrix multiply_bt(const Matrix& a, const Matrix& b) {
                                 b.shape_string() + "^T");
   }
   const std::size_t m = a.rows(), n = b.rows();
+  count_gemm(2 * m * a.cols() * n);
   Matrix c(m, n);
   parallel_rows(m, a.cols() * n, [&](std::size_t rb, std::size_t re) {
     for (std::size_t i = rb; i < re; ++i) {
@@ -74,6 +86,7 @@ Matrix multiply_at(const Matrix& a, const Matrix& b) {
                                 b.shape_string());
   }
   const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  count_gemm(2 * m * k * n);
   // Accumulate row blocks of the output; parallelize over output rows by
   // striping the k-loop contributions into thread-local buffers would cost
   // memory, so instead parallelize over output rows with a transposed access
@@ -96,6 +109,7 @@ Matrix multiply_at(const Matrix& a, const Matrix& b) {
 
 Matrix gram(const Matrix& a) {
   const std::size_t n = a.rows();
+  count_gemm(a.cols() * n * (n + 1));
   Matrix c(n, n);
   parallel_rows(n, a.cols() * n / 2, [&](std::size_t rb, std::size_t re) {
     for (std::size_t i = rb; i < re; ++i) {
@@ -112,6 +126,7 @@ Matrix gram(const Matrix& a) {
 
 Matrix gram_t(const Matrix& a) {
   const std::size_t n = a.cols(), k = a.rows();
+  count_gemm(k * n * (n + 1));
   Matrix c(n, n);
   // C += a_p^T a_p accumulated row-wise; parallelize over output rows using
   // the multiply_at access pattern restricted to the upper triangle.

@@ -6,6 +6,7 @@
 #include "linalg/cholesky.h"
 #include "linalg/gemm.h"
 #include "linalg/svd.h"
+#include "util/telemetry.h"
 
 namespace repro::linalg {
 
@@ -86,6 +87,7 @@ Matrix spd_solve_robust(const Matrix& s, const Matrix& b, SpdSolveInfo* info,
   SpdSolveInfo local;
   SpdSolveInfo& out = info ? *info : local;
   out = SpdSolveInfo{};
+  util::telemetry::count("linalg.spd_solve.calls");
   if (s.rows() != s.cols() || s.rows() != b.rows()) {
     out.condition = std::numeric_limits<double>::infinity();
     return Matrix(s.rows(), b.cols());
@@ -115,6 +117,7 @@ Matrix spd_solve_robust(const Matrix& s, const Matrix& b, SpdSolveInfo* info,
         out.ok = true;
         out.regularized = true;
         out.ridge = ridge;
+        util::telemetry::count("linalg.spd_solve.ridge_fallbacks");
         return chol_solve(f, b);
       }
     }

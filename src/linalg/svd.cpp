@@ -2,6 +2,8 @@
 
 #include "linalg/gemm.h"
 
+#include "util/telemetry.h"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -122,8 +124,10 @@ bool golub_reinsch(Matrix& a, Vector& w, Matrix& v, bool want_uv) {
 
   // --- Diagonalization of the bidiagonal form ---
   const int max_iterations = 60;
+  std::uint64_t sweeps = 0;  // QR iterations over all singular values
   for (int k = n - 1; k >= 0; --k) {
     for (int its = 0; its < max_iterations; ++its) {
+      ++sweeps;
       bool flag = true;
       int nm = 0;
       int ll = 0;
@@ -169,7 +173,10 @@ bool golub_reinsch(Matrix& a, Vector& w, Matrix& v, bool want_uv) {
         }
         break;
       }
-      if (its == max_iterations - 1) return false;
+      if (its == max_iterations - 1) {
+        util::telemetry::count("linalg.svd.sweeps", sweeps);
+        return false;
+      }
 
       // Shift from bottom 2x2 minor.
       double x = w[ll];
@@ -226,6 +233,7 @@ bool golub_reinsch(Matrix& a, Vector& w, Matrix& v, bool want_uv) {
       w[k] = x;
     }
   }
+  util::telemetry::count("linalg.svd.sweeps", sweeps);
   return true;
 }
 
@@ -253,6 +261,8 @@ void sort_descending(SvdResult& r, bool want_uv) {
 }  // namespace
 
 SvdResult svd(Matrix a, bool want_uv) {
+  const util::telemetry::Span span("linalg.svd");
+  util::telemetry::count("linalg.svd.calls");
   SvdResult out;
   const bool transposed = a.rows() < a.cols();
   if (transposed) a = a.transposed();

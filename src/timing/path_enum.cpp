@@ -4,6 +4,7 @@
 #include <queue>
 #include <unordered_set>
 
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace repro::timing {
@@ -127,8 +128,11 @@ std::vector<Path> enumerate_worst_paths(const TimingGraph& graph,
     is_sink[static_cast<std::size_t>(id)] = 1;
   }
   const std::vector<double> suffix = suffix_bounds(graph, score, is_sink);
-  return best_first(graph, score, suffix, is_sink, options.max_paths,
-                    options.min_score_fraction);
+  std::vector<Path> out = best_first(graph, score, suffix, is_sink,
+                                     options.max_paths,
+                                     options.min_score_fraction);
+  util::telemetry::count("timing.paths_enumerated", out.size());
+  return out;
 }
 
 std::vector<Path> enumerate_worst_paths_per_endpoint(
@@ -144,16 +148,21 @@ std::vector<Path> enumerate_worst_paths_per_endpoint(
   // Every endpoint's cone is enumerated independently, so fan the per-sink
   // searches out over the shared pool and merge in endpoint order — the
   // result is identical to the serial loop for any thread count.
+  const util::telemetry::Span span("timing.path_enum.per_endpoint");
+  util::telemetry::count("timing.endpoints", outputs.size());
   std::vector<std::vector<Path>> per_endpoint(outputs.size());
   util::parallel_for(0, outputs.size(), 1, [&](std::size_t b, std::size_t e) {
     std::vector<char> is_sink(nl.size(), 0);
+    std::size_t enumerated = 0;
     for (std::size_t k = b; k < e; ++k) {
       std::fill(is_sink.begin(), is_sink.end(), 0);
       is_sink[static_cast<std::size_t>(outputs[k])] = 1;
       const std::vector<double> suffix = suffix_bounds(graph, score, is_sink);
       per_endpoint[k] = best_first(graph, score, suffix, is_sink, quota,
                                    options.min_score_fraction);
+      enumerated += per_endpoint[k].size();
     }
+    util::telemetry::count("timing.paths_enumerated", enumerated);
   });
   std::vector<Path> all;
   for (std::vector<Path>& paths : per_endpoint) {

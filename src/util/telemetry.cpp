@@ -1,0 +1,212 @@
+#include "util/telemetry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+namespace repro::util::telemetry {
+namespace {
+
+bool env_enabled() {
+  const char* env = std::getenv("REPRO_TELEMETRY");
+  return env == nullptr || std::string_view(env) != "0";
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_enabled()};
+  return flag;
+}
+
+struct SpanAgg {
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+// std::map keyed by name: iteration is already sorted, and entries are
+// stable so counter atomics can be bumped outside the mutex if ever needed.
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::uint64_t, std::less<>> counters;
+  std::map<std::string, double, std::less<>> gauges;
+  std::map<std::string, SpanAgg, std::less<>> spans;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during exit
+  return *r;
+}
+
+std::string fmt_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", ms);
+  return buf;
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+void count(std::string_view name, std::uint64_t n) {
+  if (!enabled()) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mutex);
+  auto it = r.counters.find(name);
+  if (it == r.counters.end()) {
+    r.counters.emplace(std::string(name), n);
+  } else {
+    it->second += n;
+  }
+}
+
+void set_gauge(std::string_view name, double value) {
+  if (!enabled()) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mutex);
+  auto it = r.gauges.find(name);
+  if (it == r.gauges.end()) {
+    r.gauges.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+Span::Span(std::string_view name) {
+  if (!enabled()) return;
+  name_ = name;
+  start_ = std::chrono::steady_clock::now();
+  active_ = true;
+}
+
+void Span::stop() {
+  if (!active_) return;
+  active_ = false;
+  const double ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mutex);
+  SpanAgg& agg = r.spans[name_];
+  ++agg.count;
+  agg.total_ms += ms;
+  agg.max_ms = std::max(agg.max_ms, ms);
+}
+
+Snapshot snapshot() {
+  Snapshot out;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mutex);
+  out.counters.reserve(r.counters.size());
+  for (const auto& [name, v] : r.counters) out.counters.push_back({name, v});
+  out.gauges.reserve(r.gauges.size());
+  for (const auto& [name, v] : r.gauges) out.gauges.push_back({name, v});
+  out.spans.reserve(r.spans.size());
+  for (const auto& [name, a] : r.spans) {
+    out.spans.push_back({name, a.count, a.total_ms, a.max_ms});
+  }
+  return out;
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mutex);
+  r.counters.clear();
+  r.gauges.clear();
+  r.spans.clear();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json() {
+  const Snapshot snap = snapshot();
+  std::string js;
+  js += "{\"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i) js += ", ";
+    js += '"';
+    js += json_escape(snap.counters[i].name);
+    js += "\": ";
+    js += std::to_string(snap.counters[i].value);
+  }
+  js += "}, \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i) js += ", ";
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.9g", snap.gauges[i].value);
+    js += '"';
+    js += json_escape(snap.gauges[i].name);
+    js += "\": ";
+    js += buf;
+  }
+  js += "}, \"spans\": {";
+  for (std::size_t i = 0; i < snap.spans.size(); ++i) {
+    if (i) js += ", ";
+    const SpanSample& s = snap.spans[i];
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "{\"count\": %llu, \"total_ms\": %.3f, \"max_ms\": %.3f}",
+                  static_cast<unsigned long long>(s.count), s.total_ms,
+                  s.max_ms);
+    js += '"';
+    js += json_escape(s.name);
+    js += "\": ";
+    js += buf;
+  }
+  js += "}}";
+  return js;
+}
+
+void report(std::ostream& os) {
+  const Snapshot snap = snapshot();
+  if (snap.empty()) {
+    os << "[telemetry] empty (REPRO_TELEMETRY=0?)\n";
+    return;
+  }
+  os << "[telemetry] spans (count / total ms / max ms):\n";
+  for (const SpanSample& s : snap.spans) {
+    os << "  " << s.name << ": " << s.count << " / " << fmt_ms(s.total_ms)
+       << " / " << fmt_ms(s.max_ms) << "\n";
+  }
+  os << "[telemetry] counters:\n";
+  for (const CounterSample& c : snap.counters) {
+    os << "  " << c.name << ": " << c.value << "\n";
+  }
+  if (!snap.gauges.empty()) {
+    os << "[telemetry] gauges:\n";
+    for (const GaugeSample& g : snap.gauges) {
+      os << "  " << g.name << ": " << g.value << "\n";
+    }
+  }
+}
+
+}  // namespace repro::util::telemetry

@@ -6,8 +6,11 @@
 #include <cstdlib>
 #include <deque>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "util/telemetry.h"
 
 namespace repro::util {
 namespace {
@@ -92,6 +95,12 @@ ThreadPool& ThreadPool::instance() {
 }
 
 void ThreadPool::set_threads(std::size_t n) {
+  if (tl_in_parallel_region) {
+    throw std::logic_error(
+        "ThreadPool::set_threads: called from inside a parallel region "
+        "(parallel_for body or pool task); reconfiguration joins the "
+        "workers and would deadlock");
+  }
   n = std::max<std::size_t>(1, n);
   {
     std::lock_guard<std::mutex> lk(impl_->mutex);
@@ -110,6 +119,7 @@ std::size_t ThreadPool::threads() const {
 bool ThreadPool::in_parallel_region() { return tl_in_parallel_region; }
 
 void ThreadPool::enqueue(std::function<void()> task) {
+  telemetry::count("util.pool.tasks");
   bool inline_run = false;
   {
     std::lock_guard<std::mutex> lk(impl_->mutex);
@@ -159,11 +169,13 @@ void ThreadPool::parallel_for(
   st->nchunks = nchunks;
   st->fn = &fn;
 
-  auto run_chunks = [st] {
+  auto run_chunks = [st](bool caller) {
     RegionGuard region;
+    std::size_t executed = 0;
     for (;;) {
       const std::size_t c = st->next.fetch_add(1);
-      if (c >= st->nchunks) return;
+      if (c >= st->nchunks) break;
+      ++executed;
       if (!st->failed.load()) {
         try {
           const std::size_t b = st->begin + c * st->grain;
@@ -181,20 +193,30 @@ void ThreadPool::parallel_for(
         st->cv.notify_all();
       }
     }
+    if (executed > 0) {
+      telemetry::count(caller ? "util.pool.chunks_by_caller"
+                              : "util.pool.chunks_by_workers",
+                       executed);
+    }
   };
 
+  telemetry::count("util.pool.parallel_for.calls");
+  telemetry::count("util.pool.parallel_for.chunks", nchunks);
   std::size_t helpers = 0;
+  std::size_t configured = 1;
   {
     std::lock_guard<std::mutex> lk(impl_->mutex);
     impl_->ensure_started_locked();
+    configured = impl_->configured;
     helpers = std::min(impl_->workers.size(), nchunks - 1);
     for (std::size_t i = 0; i < helpers; ++i) {
-      impl_->queue.push_back(run_chunks);
+      impl_->queue.push_back([run_chunks] { run_chunks(false); });
     }
   }
+  telemetry::set_gauge("util.pool.threads", static_cast<double>(configured));
   if (helpers > 0) impl_->cv.notify_all();
 
-  run_chunks();  // the caller works too
+  run_chunks(true);  // the caller works too
 
   std::unique_lock<std::mutex> lk(st->mutex);
   st->cv.wait(lk, [&] { return st->done.load() == st->nchunks; });

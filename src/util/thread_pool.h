@@ -42,7 +42,10 @@ class ThreadPool {
 
   // Total concurrency (caller + workers) used by parallel_for; always >= 1.
   // Reconfiguring joins the existing workers first, so it must not race with
-  // in-flight parallel work (intended for startup and tests).
+  // in-flight parallel work (intended for startup and tests).  Calling it
+  // from inside a parallel region — a parallel_for body or a submitted pool
+  // task — would self-join and deadlock, so that misuse throws
+  // std::logic_error instead.
   void set_threads(std::size_t n);
   std::size_t threads() const;
 

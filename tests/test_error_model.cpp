@@ -90,6 +90,17 @@ TEST(ErrorModel, InvalidInputsThrow) {
   EXPECT_THROW((void)selection_errors(a, {9}, 100.0, 3.0), std::out_of_range);
 }
 
+TEST(ErrorModel, DuplicateRepresentativeThrows) {
+  // A repeated index used to be silently collapsed by the is_rep mask,
+  // making |rep| lie about the measurement budget.  It must throw now.
+  const linalg::Matrix a = random_matrix(6, 8, 10);
+  EXPECT_THROW((void)selection_errors(a, {1, 3, 1}, 100.0, 3.0),
+               std::invalid_argument);
+  const linalg::Matrix w = linalg::gram(a);
+  EXPECT_THROW((void)selection_errors_from_gram(w, {2, 2}, 100.0, 3.0),
+               std::invalid_argument);
+}
+
 TEST(ErrorModel, WorstCaseGaussianHelper) {
   EXPECT_DOUBLE_EQ(worst_case_gaussian(0.0, 2.0, 3.0), 6.0);
   EXPECT_DOUBLE_EQ(worst_case_gaussian(-4.0, 1.0, 3.0), 7.0);

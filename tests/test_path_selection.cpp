@@ -115,6 +115,43 @@ TEST(PathSelection, MinRRespected) {
   EXPECT_EQ(r.representatives.size(), 4u);
 }
 
+TEST(PathSelection, MinREqualToRankSelectsExactly) {
+  // Full-row-rank 10x15 matrix: rank == 10.  min_r == rank pins both search
+  // strategies to the exact selection regardless of tolerance.
+  const linalg::Matrix a = random_matrix(10, 15, 10);
+  for (const SelectionStrategy strategy :
+       {SelectionStrategy::kLinearDecrement, SelectionStrategy::kBisection}) {
+    PathSelectionOptions opt;
+    opt.epsilon = 1e6;
+    opt.min_r = 10;
+    opt.strategy = strategy;
+    const auto r = select_representative_paths(a, 1000.0, opt);
+    EXPECT_EQ(r.exact_rank, 10u);
+    EXPECT_EQ(r.representatives.size(), 10u);
+    EXPECT_NEAR(r.eps_r, 0.0, 1e-7);
+  }
+}
+
+TEST(PathSelection, MinRAboveRankClampsToRank) {
+  // min_r beyond rank(A) is unreachable; both strategies must clamp to the
+  // exact selection instead of silently ignoring the floor (the bisection
+  // loop would otherwise never run and report a stale candidate count).
+  const linalg::Matrix a =
+      linalg::multiply(random_matrix(20, 6, 11), random_matrix(6, 12, 12));
+  for (const SelectionStrategy strategy :
+       {SelectionStrategy::kLinearDecrement, SelectionStrategy::kBisection}) {
+    PathSelectionOptions opt;
+    opt.epsilon = 1e6;
+    opt.min_r = 100;  // far above rank == 6
+    opt.strategy = strategy;
+    const auto r = select_representative_paths(a, 1000.0, opt);
+    EXPECT_EQ(r.exact_rank, 6u);
+    EXPECT_EQ(r.representatives.size(), 6u) << "strategy ignored the clamp";
+    EXPECT_NEAR(r.eps_r, 0.0, 1e-7);
+    EXPECT_GE(r.candidates_evaluated, 1u);
+  }
+}
+
 TEST(PathSelection, ZeroRankThrows) {
   PathSelectionOptions opt;
   EXPECT_THROW(

@@ -1,0 +1,278 @@
+#include "util/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/thread_pool.h"
+
+namespace repro::util::telemetry {
+namespace {
+
+// Every test starts from an empty, enabled registry and leaves it enabled
+// (the build default) so test order does not matter.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    reset();
+  }
+  void TearDown() override {
+    set_enabled(true);
+    reset();
+  }
+};
+
+const CounterSample* find_counter(const Snapshot& s, std::string_view name) {
+  for (const CounterSample& c : s.counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const SpanSample* find_span(const Snapshot& s, std::string_view name) {
+  for (const SpanSample& sp : s.spans) {
+    if (sp.name == name) return &sp;
+  }
+  return nullptr;
+}
+
+TEST_F(TelemetryTest, CountersAccumulate) {
+  count("test.a");
+  count("test.a", 4);
+  count("test.b", 10);
+  const Snapshot s = snapshot();
+  ASSERT_EQ(s.counters.size(), 2u);
+  const CounterSample* a = find_counter(s, "test.a");
+  const CounterSample* b = find_counter(s, "test.b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->value, 5u);
+  EXPECT_EQ(b->value, 10u);
+}
+
+TEST_F(TelemetryTest, GaugeKeepsLatestValue) {
+  set_gauge("test.g", 1.5);
+  set_gauge("test.g", -2.25);
+  const Snapshot s = snapshot();
+  ASSERT_EQ(s.gauges.size(), 1u);
+  EXPECT_EQ(s.gauges[0].name, "test.g");
+  EXPECT_DOUBLE_EQ(s.gauges[0].value, -2.25);
+}
+
+TEST_F(TelemetryTest, SpansAggregatePerName) {
+  for (int i = 0; i < 3; ++i) {
+    Span span("test.phase");
+  }
+  const Snapshot s = snapshot();
+  const SpanSample* sp = find_span(s, "test.phase");
+  ASSERT_NE(sp, nullptr);
+  EXPECT_EQ(sp->count, 3u);
+  EXPECT_GE(sp->total_ms, 0.0);
+  EXPECT_GE(sp->total_ms, sp->max_ms);
+}
+
+TEST_F(TelemetryTest, SpansNest) {
+  {
+    Span outer("test.outer");
+    {
+      Span inner("test.inner");
+    }
+    {
+      Span inner("test.inner");
+    }
+  }
+  const Snapshot s = snapshot();
+  const SpanSample* outer = find_span(s, "test.outer");
+  const SpanSample* inner = find_span(s, "test.inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  EXPECT_EQ(inner->count, 2u);
+  // The outer span encloses both inner ones.
+  EXPECT_GE(outer->total_ms, inner->total_ms - 1e-6);
+}
+
+TEST_F(TelemetryTest, SpanStopIsIdempotent) {
+  Span span("test.once");
+  span.stop();
+  span.stop();  // second stop (and the destructor later) must not re-record
+  const Snapshot s = snapshot();
+  const SpanSample* sp = find_span(s, "test.once");
+  ASSERT_NE(sp, nullptr);
+  EXPECT_EQ(sp->count, 1u);
+}
+
+TEST_F(TelemetryTest, DisabledModeRegistersNothing) {
+  set_enabled(false);
+  EXPECT_FALSE(enabled());
+  count("test.invisible", 100);
+  set_gauge("test.invisible_gauge", 1.0);
+  {
+    Span span("test.invisible_span");
+  }
+  EXPECT_TRUE(snapshot().empty());
+  // Re-enabling does not resurrect anything recorded while disabled.
+  set_enabled(true);
+  EXPECT_TRUE(snapshot().empty());
+}
+
+TEST_F(TelemetryTest, SpanStartedWhileEnabledStaysConsistent) {
+  // A span constructed while disabled records nothing even if telemetry is
+  // enabled before it ends (it never captured a start time).
+  set_enabled(false);
+  {
+    Span span("test.limbo");
+    set_enabled(true);
+  }
+  EXPECT_EQ(find_span(snapshot(), "test.limbo"), nullptr);
+}
+
+TEST_F(TelemetryTest, ResetClearsEverything) {
+  count("test.c");
+  set_gauge("test.g", 1.0);
+  {
+    Span span("test.s");
+  }
+  EXPECT_FALSE(snapshot().empty());
+  reset();
+  EXPECT_TRUE(snapshot().empty());
+}
+
+TEST_F(TelemetryTest, ThreadSafeUnderParallelFor) {
+  const std::size_t saved = thread_count();
+  set_threads(4);
+  constexpr std::size_t kIters = 2000;
+  parallel_for(0, kIters, 1, [](std::size_t, std::size_t) {
+    count("test.parallel");
+    Span span("test.parallel_span");
+  });
+  set_threads(saved);
+  const Snapshot s = snapshot();
+  const CounterSample* c = find_counter(s, "test.parallel");
+  ASSERT_NE(c, nullptr);
+  // parallel_for itself also counts; ours must be exact despite contention.
+  EXPECT_EQ(c->value, kIters);
+  const SpanSample* sp = find_span(s, "test.parallel_span");
+  ASSERT_NE(sp, nullptr);
+  EXPECT_EQ(sp->count, kIters);
+}
+
+// Minimal JSON syntax walk: objects/strings/numbers/booleans, enough to
+// reject unbalanced braces, bad escapes, and trailing commas in the
+// telemetry export without pulling in a JSON library.
+bool json_ok(std::string_view js) {
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < js.size() && (js[i] == ' ' || js[i] == '\n' || js[i] == '\t' ||
+                             js[i] == '\r')) {
+      ++i;
+    }
+  };
+  // Returns false on malformed input; on success leaves i one past the value.
+  std::function<bool()> value = [&]() -> bool {
+    skip_ws();
+    if (i >= js.size()) return false;
+    const char c = js[i];
+    if (c == '{') {
+      ++i;
+      skip_ws();
+      if (i < js.size() && js[i] == '}') {
+        ++i;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        if (i >= js.size() || js[i] != '"' || !value()) return false;
+        skip_ws();
+        if (i >= js.size() || js[i] != ':') return false;
+        ++i;
+        if (!value()) return false;
+        skip_ws();
+        if (i < js.size() && js[i] == ',') {
+          ++i;
+          continue;
+        }
+        break;
+      }
+      skip_ws();
+      if (i >= js.size() || js[i] != '}') return false;
+      ++i;
+      return true;
+    }
+    if (c == '"') {
+      ++i;
+      while (i < js.size() && js[i] != '"') {
+        if (js[i] == '\\') {
+          ++i;
+          if (i >= js.size()) return false;
+        }
+        ++i;
+      }
+      if (i >= js.size()) return false;
+      ++i;
+      return true;
+    }
+    if (c == 't') {
+      if (js.substr(i, 4) != "true") return false;
+      i += 4;
+      return true;
+    }
+    if (c == 'f') {
+      if (js.substr(i, 5) != "false") return false;
+      i += 5;
+      return true;
+    }
+    // Number.
+    std::size_t start = i;
+    while (i < js.size() &&
+           (std::isdigit(static_cast<unsigned char>(js[i])) || js[i] == '-' ||
+            js[i] == '+' || js[i] == '.' || js[i] == 'e' || js[i] == 'E')) {
+      ++i;
+    }
+    return i > start;
+  };
+  if (!value()) return false;
+  skip_ws();
+  return i == js.size();
+}
+
+TEST_F(TelemetryTest, JsonExportShape) {
+  count("test.count", 7);
+  set_gauge("test.gauge", 3.5);
+  {
+    Span span("test.span");
+  }
+  const std::string js = to_json();
+  EXPECT_TRUE(json_ok(js)) << js;
+  EXPECT_NE(js.find("\"counters\""), std::string::npos);
+  EXPECT_NE(js.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(js.find("\"spans\""), std::string::npos);
+  EXPECT_NE(js.find("\"test.count\": 7"), std::string::npos);
+  EXPECT_NE(js.find("\"test.gauge\": 3.5"), std::string::npos);
+  EXPECT_NE(js.find("\"test.span\""), std::string::npos);
+  EXPECT_NE(js.find("\"total_ms\""), std::string::npos);
+}
+
+TEST_F(TelemetryTest, JsonEscapesAwkwardNames) {
+  count("test.\"quoted\"\\slash\n", 1);
+  const std::string js = to_json();
+  EXPECT_TRUE(json_ok(js)) << js;
+  EXPECT_NE(js.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(js.find("\\n"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, JsonEscapeHelper) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+}  // namespace
+}  // namespace repro::util::telemetry

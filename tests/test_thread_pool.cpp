@@ -122,6 +122,41 @@ TEST_F(ThreadPoolTest, SetThreadsReconfigures) {
   EXPECT_EQ(f.get(), 42);
 }
 
+TEST_F(ThreadPoolTest, SetThreadsInsideParallelRegionThrows) {
+  // Reconfiguring joins the workers; from inside a parallel_for body that
+  // would be a self-join deadlock, so it must throw instead.  Many unit
+  // chunks ensure the parallel path (not the inline fast path) runs and the
+  // region flag is set on the executing thread.
+  set_threads(2);
+  std::atomic<int> threw{0};
+  parallel_for(0, 64, 1, [&](std::size_t, std::size_t) {
+    try {
+      set_threads(8);
+    } catch (const std::logic_error&) {
+      threw.fetch_add(1);
+    }
+  });
+  EXPECT_GT(threw.load(), 0);
+  // The pool configuration is untouched and still usable.
+  EXPECT_EQ(thread_count(), 2u);
+  std::atomic<std::size_t> covered{0};
+  parallel_for(0, 32, 1, [&](std::size_t b, std::size_t e) {
+    covered.fetch_add(e - b);
+  });
+  EXPECT_EQ(covered.load(), 32u);
+
+  // The same guard protects pool tasks.
+  auto f = ThreadPool::instance().submit([] {
+    try {
+      set_threads(8);
+      return false;
+    } catch (const std::logic_error&) {
+      return true;
+    }
+  });
+  EXPECT_TRUE(f.get());
+}
+
 TEST_F(ThreadPoolTest, SameResultForAnyThreadCount) {
   // A non-commutative-looking reduction done with per-chunk slots must be
   // bit-identical across thread counts (the MC determinism scheme in small).

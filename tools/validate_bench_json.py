@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Validate BENCH_<name>.json telemetry records (bench/bench_common.h schema).
+
+Usage: validate_bench_json.py <dir-or-file> [...]
+
+Checks every record parses as JSON, carries schema_version 1, and has the
+required top-level and telemetry keys.  Exits non-zero on the first problem
+so CI fails loudly instead of uploading broken artifacts.
+"""
+import glob
+import json
+import os
+import sys
+
+REQUIRED_KEYS = (
+    "schema_version",
+    "bench",
+    "git",
+    "threads",
+    "scale_mode",
+    "wall_s",
+    "ok",
+    "metrics",
+    "telemetry",
+)
+TELEMETRY_KEYS = ("counters", "gauges", "spans")
+SCALE_MODES = ("fast", "default", "full")
+
+
+def collect(args):
+    paths = []
+    for arg in args:
+        if os.path.isdir(arg):
+            paths.extend(sorted(glob.glob(os.path.join(arg, "BENCH_*.json"))))
+        else:
+            paths.append(arg)
+    return paths
+
+
+def validate(path):
+    with open(path) as f:
+        rec = json.load(f)
+    for key in REQUIRED_KEYS:
+        if key not in rec:
+            raise ValueError(f"missing key {key!r}")
+    if rec["schema_version"] != 1:
+        raise ValueError(f"schema_version {rec['schema_version']!r} != 1")
+    if rec["scale_mode"] not in SCALE_MODES:
+        raise ValueError(f"scale_mode {rec['scale_mode']!r} not in {SCALE_MODES}")
+    if not isinstance(rec["metrics"], dict):
+        raise ValueError("metrics is not an object")
+    for key in TELEMETRY_KEYS:
+        if key not in rec["telemetry"]:
+            raise ValueError(f"telemetry missing {key!r}")
+    return rec
+
+
+def main(argv):
+    paths = collect(argv[1:] or ["."])
+    if not paths:
+        print("no BENCH_*.json records found", file=sys.stderr)
+        return 1
+    for path in paths:
+        try:
+            rec = validate(path)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print(f"{path}: FAIL: {e}", file=sys.stderr)
+            return 1
+        tele = rec["telemetry"]
+        print(
+            f"{path}: ok ({rec['bench']}, {len(tele['spans'])} spans, "
+            f"{len(tele['counters'])} counters, wall {rec['wall_s']}s)"
+        )
+    print(f"{len(paths)} record(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
