@@ -12,6 +12,7 @@
 //     "scale_mode": "fast" | "default" | "full",
 //     "wall_s": <total wall-clock>,
 //     "ok": true | false,
+//     "telemetry_enabled": true | false,
 //     "metrics": { ... bench-specific scalars, insertion order ... },
 //     "telemetry": { "counters": {...}, "gauges": {...}, "spans": {...} }
 //   }
@@ -106,6 +107,10 @@ class Harness {
     js += buf;
     js += ",\n  \"ok\": ";
     js += ok ? "true" : "false";
+    // Lets the validator distinguish "telemetry off" from "snapshot lost":
+    // an enabled run with an empty telemetry block is a broken record.
+    js += ",\n  \"telemetry_enabled\": ";
+    js += util::telemetry::enabled() ? "true" : "false";
     js += ",\n  \"metrics\": {";
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       js += (i == 0) ? "\n" : ",\n";

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "linalg/gemm.h"
+#include "util/contracts.h"
 #include "util/rng.h"
 
 namespace repro::core {
@@ -19,6 +20,9 @@ void normalize_rows(linalg::Matrix& m) {
 
 }  // namespace
 
+// The only precondition (k in [1, rows]) is validated unconditionally just
+// below in every build; a contract would duplicate it.
+// repro-lint: allow(contracts)
 std::vector<int> cluster_rows_spherical(const linalg::Matrix& a,
                                         std::size_t k, int iterations,
                                         std::uint64_t seed) {
@@ -98,6 +102,7 @@ std::vector<int> cluster_rows_spherical(const linalg::Matrix& a,
 ClusteredSelectionResult select_paths_clustered(
     const linalg::Matrix& a, double t_cons,
     const ClusteredSelectionOptions& options) {
+  REPRO_CHECK(t_cons > 0.0, "select_paths_clustered: t_cons must be positive");
   const std::size_t n = a.rows();
   if (n == 0) throw std::invalid_argument("select_paths_clustered: empty A");
   std::size_t k = options.num_clusters;

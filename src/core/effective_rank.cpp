@@ -2,8 +2,13 @@
 
 #include <stdexcept>
 
+#include "util/contracts.h"
+
 namespace repro::core {
 
+// The eta range and non-negative spectrum are validated unconditionally
+// below in every build; a contract would duplicate them.
+// repro-lint: allow(contracts)
 std::size_t effective_rank(const linalg::Vector& singular_values, double eta) {
   if (eta < 0.0 || eta >= 1.0) {
     throw std::invalid_argument("effective_rank: eta must be in [0, 1)");
@@ -29,7 +34,10 @@ std::size_t effective_rank(const linalg::Vector& singular_values, double eta) {
 linalg::Vector normalized_singular_values(
     const linalg::Vector& singular_values) {
   double energy = 0.0;
-  for (double s : singular_values) energy += s;
+  for (double s : singular_values) {
+    REPRO_CHECK(s >= 0.0, "normalized_singular_values: negative value");
+    energy += s;
+  }
   linalg::Vector out(singular_values.size(), 0.0);
   if (energy == 0.0) return out;
   for (std::size_t i = 0; i < out.size(); ++i) {

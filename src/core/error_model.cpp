@@ -7,6 +7,7 @@
 
 #include "linalg/cholesky.h"
 #include "linalg/gemm.h"
+#include "util/contracts.h"
 #include "util/telemetry.h"
 
 namespace repro::core {
@@ -14,6 +15,8 @@ namespace repro::core {
 SelectionErrors selection_errors_from_gram(const linalg::Matrix& gram,
                                            const std::vector<int>& rep,
                                            double t_cons, double kappa) {
+  REPRO_CHECK_DIM(gram.rows(), gram.cols(),
+                  "selection_errors_from_gram: square Gram matrix");
   if (t_cons <= 0.0) throw std::invalid_argument("selection_errors: t_cons");
   const util::telemetry::Span span("core.error_model");
   const std::size_t n = gram.rows();
@@ -70,6 +73,10 @@ SelectionErrors selection_errors_from_gram(const linalg::Matrix& gram,
   return out;
 }
 
+// Thin wrapper: t_cons and the rep indices are validated unconditionally by
+// selection_errors_from_gram, which also states the Gram-shape contract;
+// a contract here would duplicate that validation.
+// repro-lint: allow(contracts)
 SelectionErrors selection_errors(const linalg::Matrix& a,
                                  const std::vector<int>& rep, double t_cons,
                                  double kappa) {

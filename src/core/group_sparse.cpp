@@ -71,6 +71,9 @@ void project_row_eigenbasis(std::span<double> q, std::span<const double> d,
 
 }  // namespace
 
+// The radius precondition is validated unconditionally below in every
+// build; a contract would duplicate it.
+// repro-lint: allow(contracts)
 linalg::Vector project_l1_ball(linalg::Vector v, double radius) {
   if (radius < 0.0) throw std::invalid_argument("project_l1_ball: radius < 0");
   double l1 = 0.0;
@@ -101,6 +104,9 @@ linalg::Vector project_l1_ball(linalg::Vector v, double radius) {
   return v;
 }
 
+// Shape preconditions are validated unconditionally below in every build;
+// a contract would duplicate them.
+// repro-lint: allow(contracts)
 SegmentQuadratic build_segment_quadratic(const linalg::Matrix& sigma,
                                          const linalg::Vector& mu_s,
                                          double kappa) {
@@ -125,6 +131,9 @@ SegmentQuadratic build_segment_quadratic(const linalg::Matrix& sigma,
   return out;
 }
 
+// Delegates; build_segment_quadratic and the quadratic overload validate
+// every shape unconditionally in every build.
+// repro-lint: allow(contracts)
 GroupSparseResult select_segments(const linalg::Matrix& g_r1,
                                   const linalg::Matrix& sigma,
                                   const linalg::Vector& mu_s, double bound,
@@ -134,6 +143,9 @@ GroupSparseResult select_segments(const linalg::Matrix& g_r1,
                          bound, options);
 }
 
+// Shape and bound preconditions are validated unconditionally below in
+// every build; a contract would duplicate them.
+// repro-lint: allow(contracts)
 GroupSparseResult select_segments(const linalg::Matrix& g_r1,
                                   const SegmentQuadratic& quad, double bound,
                                   const GroupSparseOptions& options) {

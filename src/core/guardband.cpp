@@ -9,6 +9,9 @@
 
 namespace repro::core {
 
+// The eps-vs-remaining size precondition is validated unconditionally just
+// below in every build; a contract would duplicate it.
+// repro-lint: allow(contracts)
 GuardbandReport guardband_analysis(const variation::VariationModel& model,
                                    const LinearPredictor& predictor,
                                    const linalg::Vector& per_path_eps,

@@ -8,6 +8,7 @@
 #include "core/subset_select.h"
 #include "linalg/gemm.h"
 #include "linalg/qr_colpivot.h"
+#include "util/contracts.h"
 
 namespace repro::core {
 namespace {
@@ -167,6 +168,10 @@ HybridResult run_hybrid_selection(const linalg::Matrix& a,
                                   const linalg::Vector& mu_segments,
                                   double t_cons, double eps_prime,
                                   const HybridOptions& options) {
+  REPRO_CHECK_DIM(mu_paths.size(), a.rows(),
+                  "run_hybrid_selection: path means vs path count");
+  REPRO_CHECK_DIM(a.cols(), sigma.cols(),
+                  "run_hybrid_selection: parameter count of A vs Sigma");
   const HybridContext ctx(a, sigma, mu_segments, t_cons, options);
   return run_with_context(ctx, a, mu_paths, g, sigma, mu_segments, t_cons,
                           eps_prime, options);
@@ -183,6 +188,10 @@ HybridResult sweep_hybrid_selection(const linalg::Matrix& a,
   if (eps_primes.empty()) {
     throw std::invalid_argument("sweep_hybrid_selection: empty sweep");
   }
+  REPRO_CHECK_DIM(mu_paths.size(), a.rows(),
+                  "sweep_hybrid_selection: path means vs path count");
+  REPRO_CHECK_DIM(a.cols(), sigma.cols(),
+                  "sweep_hybrid_selection: parameter count of A vs Sigma");
   const HybridContext ctx(a, sigma, mu_segments, t_cons, options);
   HybridResult best;
   std::size_t best_cost = std::numeric_limits<std::size_t>::max();

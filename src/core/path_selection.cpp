@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "linalg/gemm.h"
+#include "util/contracts.h"
 #include "util/telemetry.h"
 
 namespace repro::core {
@@ -27,6 +28,10 @@ Candidate evaluate(const SubsetSelector& selector, const linalg::Matrix& gram,
 PathSelectionResult select_representative_paths(
     const SubsetSelector& selector, const linalg::Matrix& gram, double t_cons,
     const PathSelectionOptions& options) {
+  REPRO_CHECK_DIM(gram.rows(), gram.cols(),
+                  "select_representative_paths: Gram matrix must be square");
+  REPRO_CHECK(t_cons > 0.0,
+              "select_representative_paths: timing constraint must be > 0");
   const util::telemetry::Span span("core.select");
   const std::size_t rank = selector.rank();
   if (rank == 0) {
@@ -93,6 +98,8 @@ PathSelectionResult select_representative_paths(
 PathSelectionResult select_representative_paths(
     const linalg::Matrix& a, double t_cons, const PathSelectionOptions& options,
     const linalg::Matrix* gram) {
+  REPRO_CHECK(gram == nullptr || gram->rows() == a.rows(),
+              "select_representative_paths: precomputed Gram vs path count");
   linalg::Matrix w_local;
   if (gram == nullptr) {
     const util::telemetry::Span span("core.select.gram");

@@ -6,6 +6,7 @@
 
 #include "linalg/gemm.h"
 #include "linalg/solve.h"
+#include "util/contracts.h"
 
 namespace repro::core {
 namespace {
@@ -53,6 +54,9 @@ linalg::Vector LinearPredictor::error_sigmas() const {
 LinearPredictor make_path_predictor(const linalg::Matrix& a,
                                     const linalg::Vector& mu,
                                     const std::vector<int>& rep) {
+  REPRO_CHECK_DIM(mu.size(), a.rows(), "make_path_predictor: mu vs paths");
+  REPRO_CHECK(rep.size() <= a.rows(),
+              "make_path_predictor: more representatives than paths");
   if (mu.size() != a.rows()) {
     throw std::invalid_argument("make_path_predictor: mu size");
   }
@@ -84,6 +88,10 @@ LinearPredictor make_joint_predictor(const linalg::Matrix& a,
                                      const std::vector<int>& rep_paths,
                                      const std::vector<int>& rep_segments,
                                      const std::vector<int>& remaining) {
+  // The A-vs-Sigma parameter count is validated unconditionally below; the
+  // contract states only what is not:
+  REPRO_CHECK_DIM(mu_paths.size(), a.rows(),
+                  "make_joint_predictor: path means vs path count");
   if (a.cols() != sigma.cols()) {
     throw std::invalid_argument("make_joint_predictor: parameter mismatch");
   }
@@ -278,6 +286,10 @@ RobustPrediction RobustPredictor::predict(std::span<const double> measured,
   return out;
 }
 
+// Deliberately contract-free: the robust entry point converts every
+// precondition violation into PredictorStatus (graceful degradation under
+// fault injection); an aborting contract here would defeat its purpose.
+// repro-lint: allow(contracts)
 RobustPredictor make_robust_path_predictor(const linalg::Matrix& a,
                                            const linalg::Vector& mu,
                                            const std::vector<int>& rep,

@@ -9,6 +9,7 @@
 #include "linalg/eigen_sym.h"
 #include "linalg/qr_colpivot.h"
 #include "linalg/randomized_eig.h"
+#include "util/contracts.h"
 #include "util/telemetry.h"
 
 namespace repro::core {
@@ -106,6 +107,10 @@ const linalg::Vector& SubsetSelector::singular_values() const {
 
 SubsetSelector make_subset_selector(const linalg::Matrix& a,
                                     const linalg::Matrix& gram) {
+  REPRO_CHECK_DIM(gram.rows(), a.rows(),
+                  "make_subset_selector: Gram order vs path count");
+  REPRO_CHECK_DIM(gram.rows(), gram.cols(),
+                  "make_subset_selector: Gram matrix must be square");
   return (a.cols() >= a.rows()) ? SubsetSelector(a, gram) : SubsetSelector(a);
 }
 

@@ -4,11 +4,13 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/contracts.h"
 #include "util/telemetry.h"
 
 namespace repro::linalg {
 
 CholFactors chol_factor(Matrix s) {
+  REPRO_CHECK_DIM(s.rows(), s.cols(), "chol_factor: square input");
   if (s.rows() != s.cols()) throw std::invalid_argument("chol: not square");
   const std::size_t n = s.rows();
   CholFactors f;
@@ -40,6 +42,9 @@ CholFactors chol_factor(Matrix s) {
 
 RegularizedChol try_chol_factor_regularized(const Matrix& s,
                                             double initial_jitter) {
+  REPRO_CHECK_DIM(s.rows(), s.cols(), "try_chol_factor_regularized: square");
+  REPRO_CHECK(initial_jitter >= 0.0,
+              "try_chol_factor_regularized: jitter must be non-negative");
   RegularizedChol out;
   double scale = s.max_abs();
   if (scale == 0.0 || !std::isfinite(scale)) scale = 1.0;
@@ -65,6 +70,7 @@ RegularizedChol try_chol_factor_regularized(const Matrix& s,
 }
 
 RegularizedChol chol_factor_regularized(const Matrix& s, double initial_jitter) {
+  REPRO_CHECK_DIM(s.rows(), s.cols(), "chol_factor_regularized: square");
   RegularizedChol out = try_chol_factor_regularized(s, initial_jitter);
   if (!out.factors.ok) {
     throw std::runtime_error("chol_factor_regularized: matrix far from PSD");
@@ -73,6 +79,8 @@ RegularizedChol chol_factor_regularized(const Matrix& s, double initial_jitter) 
 }
 
 Vector chol_forward(const CholFactors& f, Vector b) {
+  REPRO_CHECK(f.ok, "chol_forward: factorization must have succeeded");
+  REPRO_CHECK_DIM(b.size(), f.l.rows(), "chol_forward: rhs length");
   const std::size_t n = f.l.rows();
   if (b.size() != n) throw std::invalid_argument("chol_forward size");
   for (std::size_t i = 0; i < n; ++i) {
@@ -85,6 +93,8 @@ Vector chol_forward(const CholFactors& f, Vector b) {
 }
 
 Vector chol_backward(const CholFactors& f, Vector b) {
+  REPRO_CHECK(f.ok, "chol_backward: factorization must have succeeded");
+  REPRO_CHECK_DIM(b.size(), f.l.rows(), "chol_backward: rhs length");
   const std::size_t n = f.l.rows();
   if (b.size() != n) throw std::invalid_argument("chol_backward size");
   for (std::size_t ii = n; ii-- > 0;) {
@@ -95,6 +105,9 @@ Vector chol_backward(const CholFactors& f, Vector b) {
   return b;
 }
 
+// Squareness is validated unconditionally below in every build; a contract
+// would duplicate it.
+// repro-lint: allow(contracts)
 PivotedChol pivoted_cholesky(const Matrix& s, double rel_tol) {
   if (s.rows() != s.cols()) {
     throw std::invalid_argument("pivoted_cholesky: not square");
@@ -152,11 +165,13 @@ PivotedChol pivoted_cholesky(const Matrix& s, double rel_tol) {
 }
 
 Vector chol_solve(const CholFactors& f, Vector b) {
+  REPRO_CHECK_DIM(b.size(), f.l.rows(), "chol_solve: rhs length");
   if (!f.ok) throw std::runtime_error("chol_solve: factorization failed");
   return chol_backward(f, chol_forward(f, std::move(b)));
 }
 
 Matrix chol_solve(const CholFactors& f, const Matrix& b) {
+  REPRO_CHECK_DIM(b.rows(), f.l.rows(), "chol_solve: rhs rows");
   Matrix x(b.rows(), b.cols());
   for (std::size_t j = 0; j < b.cols(); ++j) {
     x.set_column(j, chol_solve(f, b.column(j)));

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/contracts.h"
+
 namespace repro::linalg {
 namespace {
 
@@ -135,6 +137,7 @@ bool tql2(Matrix& a, Vector& d, Vector& e, bool want_vectors) {
 }  // namespace
 
 EigenSymResult eigen_sym(Matrix s, bool want_vectors) {
+  REPRO_CHECK_DIM(s.rows(), s.cols(), "eigen_sym: square input");
   if (s.rows() != s.cols()) throw std::invalid_argument("eigen_sym: not square");
   EigenSymResult out;
   if (s.rows() == 0) return out;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/contracts.h"
 #include "util/telemetry.h"
 #include "util/thread_pool.h"
 
@@ -41,6 +42,7 @@ void set_gemm_threads(std::size_t n) { util::set_threads(n); }
 std::size_t gemm_threads() { return util::thread_count(); }
 
 Matrix multiply(const Matrix& a, const Matrix& b) {
+  REPRO_CHECK_DIM(a.cols(), b.rows(), "multiply: inner dimensions");
   if (a.cols() != b.rows()) {
     throw std::invalid_argument("multiply: " + a.shape_string() + " * " +
                                 b.shape_string());
@@ -63,6 +65,7 @@ Matrix multiply(const Matrix& a, const Matrix& b) {
 }
 
 Matrix multiply_bt(const Matrix& a, const Matrix& b) {
+  REPRO_CHECK_DIM(a.cols(), b.cols(), "multiply_bt: inner dimensions");
   if (a.cols() != b.cols()) {
     throw std::invalid_argument("multiply_bt: " + a.shape_string() + " * " +
                                 b.shape_string() + "^T");
@@ -81,6 +84,7 @@ Matrix multiply_bt(const Matrix& a, const Matrix& b) {
 }
 
 Matrix multiply_at(const Matrix& a, const Matrix& b) {
+  REPRO_CHECK_DIM(a.rows(), b.rows(), "multiply_at: inner dimensions");
   if (a.rows() != b.rows()) {
     throw std::invalid_argument("multiply_at: " + a.shape_string() + "^T * " +
                                 b.shape_string());
@@ -107,6 +111,8 @@ Matrix multiply_at(const Matrix& a, const Matrix& b) {
   return c;
 }
 
+// A A^T exists for every shape; no dimension precondition to state.
+// repro-lint: allow(contracts)
 Matrix gram(const Matrix& a) {
   const std::size_t n = a.rows();
   count_gemm(a.cols() * n * (n + 1));
@@ -124,6 +130,7 @@ Matrix gram(const Matrix& a) {
   return c;
 }
 
+// repro-lint: allow(contracts) -- A^T A exists for every shape
 Matrix gram_t(const Matrix& a) {
   const std::size_t n = a.cols(), k = a.rows();
   count_gemm(k * n * (n + 1));

@@ -3,9 +3,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/contracts.h"
+
 namespace repro::linalg {
 
 LuFactors lu_factor(Matrix a) {
+  REPRO_CHECK_DIM(a.rows(), a.cols(), "lu_factor: square input");
   if (a.rows() != a.cols()) throw std::invalid_argument("lu_factor: not square");
   const std::size_t n = a.rows();
   LuFactors f;
@@ -44,6 +47,7 @@ LuFactors lu_factor(Matrix a) {
 }
 
 Vector lu_solve(const LuFactors& f, Vector b) {
+  REPRO_CHECK_DIM(b.size(), f.lu.rows(), "lu_solve: rhs length");
   if (f.singular) throw std::runtime_error("lu_solve: singular matrix");
   const std::size_t n = f.lu.rows();
   if (b.size() != n) throw std::invalid_argument("lu_solve: rhs size");
@@ -70,6 +74,7 @@ Vector lu_solve(const LuFactors& f, Vector b) {
 }
 
 Matrix lu_solve(const LuFactors& f, const Matrix& b) {
+  REPRO_CHECK_DIM(b.rows(), f.lu.rows(), "lu_solve: rhs rows");
   Matrix x(b.rows(), b.cols());
   for (std::size_t j = 0; j < b.cols(); ++j) {
     x.set_column(j, lu_solve(f, b.column(j)));
@@ -78,11 +83,13 @@ Matrix lu_solve(const LuFactors& f, const Matrix& b) {
 }
 
 Matrix inverse(const Matrix& a) {
+  REPRO_CHECK_DIM(a.rows(), a.cols(), "inverse: square input");
   const LuFactors f = lu_factor(a);
   return lu_solve(f, Matrix::identity(a.rows()));
 }
 
 double determinant(const Matrix& a) {
+  REPRO_CHECK_DIM(a.rows(), a.cols(), "determinant: square input");
   const LuFactors f = lu_factor(a);
   if (f.singular) return 0.0;
   double det = static_cast<double>(f.sign);

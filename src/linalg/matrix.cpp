@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/contracts.h"
+
 namespace repro::linalg {
 
 double dot(std::span<const double> a, std::span<const double> b) {
@@ -180,12 +182,22 @@ std::string Matrix::shape_string() const {
   return std::to_string(rows_) + "x" + std::to_string(cols_);
 }
 
-Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
-Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+Matrix operator+(Matrix a, const Matrix& b) {
+  REPRO_CHECK(a.same_shape(b), "operator+: shape mismatch");
+  return a += b;
+}
+Matrix operator-(Matrix a, const Matrix& b) {
+  REPRO_CHECK(a.same_shape(b), "operator-: shape mismatch");
+  return a -= b;
+}
+// Scaling by a scalar is defined for every shape; no precondition to state.
+// repro-lint: allow(contracts)
 Matrix operator*(Matrix a, double alpha) { return a *= alpha; }
+// repro-lint: allow(contracts)
 Matrix operator*(double alpha, Matrix a) { return a *= alpha; }
 
 Vector matvec(const Matrix& a, std::span<const double> x) {
+  REPRO_CHECK_DIM(x.size(), a.cols(), "matvec: x length vs columns");
   if (x.size() != a.cols()) throw std::invalid_argument("matvec size");
   Vector y(a.rows(), 0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) y[i] = dot(a.row(i), x);
@@ -193,6 +205,7 @@ Vector matvec(const Matrix& a, std::span<const double> x) {
 }
 
 Vector matvec_transposed(const Matrix& a, std::span<const double> x) {
+  REPRO_CHECK_DIM(x.size(), a.rows(), "matvec_transposed: x length vs rows");
   if (x.size() != a.rows()) throw std::invalid_argument("matvec_transposed");
   Vector y(a.cols(), 0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) axpy(x[i], a.row(i), y);
@@ -200,6 +213,7 @@ Vector matvec_transposed(const Matrix& a, std::span<const double> x) {
 }
 
 double max_abs_diff(const Matrix& a, const Matrix& b) {
+  REPRO_CHECK(a.same_shape(b), "max_abs_diff: shape mismatch");
   if (!a.same_shape(b)) throw std::invalid_argument("max_abs_diff shape");
   double m = 0.0;
   for (std::size_t i = 0; i < a.data().size(); ++i) {
@@ -208,6 +222,8 @@ double max_abs_diff(const Matrix& a, const Matrix& b) {
   return m;
 }
 
+// Defined for every shape (the empty maximum is 0); no precondition.
+// repro-lint: allow(contracts)
 double one_norm(const Matrix& a) {
   Vector colsum(a.cols(), 0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) {

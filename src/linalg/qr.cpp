@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/contracts.h"
+
 namespace repro::linalg {
 namespace {
 
@@ -32,6 +34,7 @@ double make_reflector(Matrix& a, std::size_t j, double& tau) {
 
 }  // namespace
 
+// repro-lint: allow(contracts) -- Householder QR exists for every shape
 QrFactors qr_factor(Matrix a) {
   const std::size_t m = a.rows(), n = a.cols();
   const std::size_t k = std::min(m, n);
@@ -109,6 +112,9 @@ Matrix qr_r(const QrFactors& f) {
 }
 
 Vector qr_least_squares(const Matrix& a, std::span<const double> b) {
+  REPRO_CHECK(a.rows() >= a.cols(),
+              "qr_least_squares: system must be square or overdetermined");
+  REPRO_CHECK_DIM(b.size(), a.rows(), "qr_least_squares: rhs length");
   if (a.rows() < a.cols()) {
     throw std::invalid_argument("qr_least_squares: underdetermined system");
   }

@@ -5,9 +5,13 @@
 #include <limits>
 #include <numeric>
 
+#include "util/contracts.h"
+
 namespace repro::linalg {
 
 QrcpResult qr_colpivot(Matrix a, std::size_t max_steps) {
+  REPRO_CHECK(!a.empty() || max_steps == 0,
+              "qr_colpivot: empty input admits no pivot steps");
   const std::size_t m = a.rows(), n = a.cols();
   const std::size_t kmax0 = std::min(m, n);
   const std::size_t kmax =

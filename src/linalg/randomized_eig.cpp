@@ -7,6 +7,7 @@
 #include "linalg/eigen_sym.h"
 #include "linalg/gemm.h"
 #include "linalg/qr.h"
+#include "util/contracts.h"
 #include "util/rng.h"
 
 namespace repro::linalg {
@@ -22,6 +23,9 @@ Matrix gaussian_matrix(std::size_t r, std::size_t c, util::Rng& rng) {
 
 }  // namespace
 
+// Squareness is validated unconditionally below in every build; a contract
+// would duplicate it.
+// repro-lint: allow(contracts)
 RandomizedEigResult randomized_eig_psd(const Matrix& w,
                                        const RandomizedEigOptions& options) {
   if (w.rows() != w.cols()) {

@@ -6,16 +6,19 @@
 #include "linalg/cholesky.h"
 #include "linalg/gemm.h"
 #include "linalg/svd.h"
+#include "util/contracts.h"
 #include "util/telemetry.h"
 
 namespace repro::linalg {
 
+// repro-lint: allow(contracts) -- rank is defined for every shape
 std::size_t rank(const Matrix& a, double rel_tol) {
   if (a.empty()) return 0;
   const SvdResult f = svd(a, /*want_uv=*/false);
   return svd_rank(f, a.rows(), a.cols(), rel_tol);
 }
 
+// repro-lint: allow(contracts) -- the pseudo-inverse exists for every shape
 Matrix pseudo_inverse(const Matrix& a, double rel_tol) {
   if (a.empty()) return a.transposed();
   const SvdResult f = svd(a);
@@ -35,16 +38,21 @@ Matrix pseudo_inverse(const Matrix& a, double rel_tol) {
 }
 
 Vector lstsq(const Matrix& a, std::span<const double> b, double rel_tol) {
+  REPRO_CHECK_DIM(b.size(), a.rows(), "lstsq: rhs length");
   const Matrix pinv = pseudo_inverse(a, rel_tol);
   return matvec(pinv, b);
 }
 
 Matrix spd_solve(const Matrix& s, const Matrix& b) {
+  REPRO_CHECK_DIM(s.rows(), s.cols(), "spd_solve: square system");
+  REPRO_CHECK_DIM(b.rows(), s.rows(), "spd_solve: rhs rows");
   const RegularizedChol rc = chol_factor_regularized(s);
   return chol_solve(rc.factors, b);
 }
 
 Vector spd_solve(const Matrix& s, Vector b) {
+  REPRO_CHECK_DIM(s.rows(), s.cols(), "spd_solve: square system");
+  REPRO_CHECK_DIM(b.size(), s.rows(), "spd_solve: rhs length");
   const RegularizedChol rc = chol_factor_regularized(s);
   return chol_solve(rc.factors, std::move(b));
 }
@@ -77,6 +85,7 @@ double inverse_one_norm_estimate(const CholFactors& f) {
 }
 
 double condest_spd(const Matrix& s) {
+  REPRO_CHECK_DIM(s.rows(), s.cols(), "condest_spd: square input");
   const CholFactors f = chol_factor(s);
   if (!f.ok) return std::numeric_limits<double>::infinity();
   return one_norm(s) * inverse_one_norm_estimate(f);
@@ -84,6 +93,10 @@ double condest_spd(const Matrix& s) {
 
 Matrix spd_solve_robust(const Matrix& s, const Matrix& b, SpdSolveInfo* info,
                         double max_condition) {
+  // A caller bug in checked builds; the documented Release behavior below
+  // (condition = inf, zero solution) is kept for fault-injected flows.
+  REPRO_CHECK_DIM(s.rows(), s.cols(), "spd_solve_robust: square system");
+  REPRO_CHECK_DIM(b.rows(), s.rows(), "spd_solve_robust: rhs rows");
   SpdSolveInfo local;
   SpdSolveInfo& out = info ? *info : local;
   out = SpdSolveInfo{};
@@ -129,6 +142,7 @@ Matrix spd_solve_robust(const Matrix& s, const Matrix& b, SpdSolveInfo* info,
 
 Vector spd_solve_robust(const Matrix& s, const Vector& b, SpdSolveInfo* info,
                         double max_condition) {
+  REPRO_CHECK_DIM(b.size(), s.rows(), "spd_solve_robust: rhs length");
   Matrix col(b.size(), 1);
   for (std::size_t i = 0; i < b.size(); ++i) col(i, 0) = b[i];
   const Matrix x = spd_solve_robust(s, col, info, max_condition);

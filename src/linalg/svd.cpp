@@ -260,6 +260,7 @@ void sort_descending(SvdResult& r, bool want_uv) {
 
 }  // namespace
 
+// repro-lint: allow(contracts) -- the SVD exists for every shape
 SvdResult svd(Matrix a, bool want_uv) {
   const util::telemetry::Span span("linalg.svd");
   util::telemetry::count("linalg.svd.calls");

@@ -153,17 +153,21 @@ std::vector<Path> enumerate_worst_paths_per_endpoint(
   std::vector<std::vector<Path>> per_endpoint(outputs.size());
   util::parallel_for(0, outputs.size(), 1, [&](std::size_t b, std::size_t e) {
     std::vector<char> is_sink(nl.size(), 0);
-    std::size_t enumerated = 0;
     for (std::size_t k = b; k < e; ++k) {
       std::fill(is_sink.begin(), is_sink.end(), 0);
       is_sink[static_cast<std::size_t>(outputs[k])] = 1;
       const std::vector<double> suffix = suffix_bounds(graph, score, is_sink);
       per_endpoint[k] = best_first(graph, score, suffix, is_sink, quota,
                                    options.min_score_fraction);
-      enumerated += per_endpoint[k].size();
     }
-    util::telemetry::count("timing.paths_enumerated", enumerated);
   });
+  // Telemetry after the join: counting inside the workers would contend on
+  // the registry mutex and interleave with other threads' flushes.
+  std::size_t enumerated = 0;
+  for (const std::vector<Path>& paths : per_endpoint) {
+    enumerated += paths.size();
+  }
+  util::telemetry::count("timing.paths_enumerated", enumerated);
   std::vector<Path> all;
   for (std::vector<Path>& paths : per_endpoint) {
     all.insert(all.end(), std::make_move_iterator(paths.begin()),

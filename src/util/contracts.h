@@ -1,0 +1,117 @@
+// Debug contract layer: message-carrying precondition checks for the numeric
+// entry points (dimension agreement, index ranges, option sanity).
+//
+// Design rules:
+//   * REPRO_CHECK / REPRO_CHECK_DIM throw util::ContractViolation in
+//     contract-checked builds (any build without NDEBUG, or any build
+//     configured with -DREPRO_CONTRACTS=ON) so tests can assert on the exact
+//     violation; in plain Release builds they compile to nothing — the
+//     condition is not even evaluated — so the hot kernels pay zero cost.
+//   * Contracts complement, never replace, the unconditional validation that
+//     is part of a function's documented API (e.g. multiply() throwing
+//     std::invalid_argument on shape mismatch in every build type).  A
+//     contract guards against caller bugs; unconditional validation guards
+//     documented error paths that callers are allowed to rely on.
+//   * Enablement is a whole-build decision (NDEBUG / the global
+//     REPRO_CONTRACTS definition from CMake), never per-target, so the
+//     inline kContractsEnabled constant is identical in every translation
+//     unit (no ODR hazard).
+//
+// The repro_lint `contracts` check enforces rollout: every public function
+// in src/linalg/ and src/core/ taking a Matrix or Vector must invoke one of
+// these macros (or carry an explicit `// repro-lint: allow(contracts)`
+// suppression stating why no precondition exists).  See DESIGN.md §9.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace repro::util {
+
+// Thrown on a failed contract in contract-checked builds.  Derives from
+// std::invalid_argument (itself a std::logic_error): a violation is a bug in
+// the caller, and a contract that fires ahead of a function's documented
+// unconditional `throw std::invalid_argument` must still satisfy callers —
+// and tests — that catch the documented type.  Checked builds refine the
+// exception (file:line, expression, message); they never change its catch
+// hierarchy.
+class ContractViolation : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+#if defined(NDEBUG) && !defined(REPRO_CONTRACTS)
+inline constexpr bool kContractsEnabled = false;
+#else
+inline constexpr bool kContractsEnabled = true;
+#endif
+
+// Compile-time constant mirroring whether the macros below are active; lets
+// tests branch between the throwing and the compiled-out expectations.
+constexpr bool contracts_enabled() { return kContractsEnabled; }
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* file, int line,
+                                       const char* expr,
+                                       const std::string& message) {
+  std::string what;
+  what += file;
+  what += ':';
+  what += std::to_string(line);
+  what += ": contract violated: ";
+  what += message;
+  what += " [";
+  what += expr;
+  what += ']';
+  throw ContractViolation(what);
+}
+
+[[noreturn]] inline void dim_fail(const char* file, int line, const char* expr,
+                                  std::size_t lhs, std::size_t rhs,
+                                  const char* context) {
+  std::string message;
+  message += context;
+  message += ": dimension mismatch ";
+  message += std::to_string(lhs);
+  message += " != ";
+  message += std::to_string(rhs);
+  contract_fail(file, line, expr, message);
+}
+
+}  // namespace detail
+}  // namespace repro::util
+
+#if !defined(NDEBUG) || defined(REPRO_CONTRACTS)
+
+// Throws util::ContractViolation with `message` (const char* or std::string)
+// when `cond` is false.
+#define REPRO_CHECK(cond, message)                                        \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::repro::util::detail::contract_fail(                               \
+          __FILE__, __LINE__, "REPRO_CHECK(" #cond ")", (message));       \
+    }                                                                     \
+  } while (false)
+
+// Throws util::ContractViolation naming both extents when lhs != rhs;
+// `context` names the function and the dimensions being matched, e.g.
+// REPRO_CHECK_DIM(a.cols(), b.rows(), "multiply: inner dimensions").
+#define REPRO_CHECK_DIM(lhs, rhs, context)                                \
+  do {                                                                    \
+    const std::size_t repro_dim_lhs_ = static_cast<std::size_t>(lhs);     \
+    const std::size_t repro_dim_rhs_ = static_cast<std::size_t>(rhs);     \
+    if (repro_dim_lhs_ != repro_dim_rhs_) {                               \
+      ::repro::util::detail::dim_fail(                                    \
+          __FILE__, __LINE__, "REPRO_CHECK_DIM(" #lhs ", " #rhs ")",      \
+          repro_dim_lhs_, repro_dim_rhs_, (context));                     \
+    }                                                                     \
+  } while (false)
+
+#else
+
+#define REPRO_CHECK(cond, message) static_cast<void>(0)
+#define REPRO_CHECK_DIM(lhs, rhs, context) static_cast<void>(0)
+
+#endif

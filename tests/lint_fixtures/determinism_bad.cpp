@@ -1,0 +1,13 @@
+#include <cstdlib>
+
+int bad_seed() {
+  int x = rand();
+  srand(42);
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  long t = time(nullptr);
+  auto now = std::chrono::system_clock::now();
+  auto ok = std::chrono::steady_clock::now();
+  int y = rand();  // repro-lint: allow(determinism)
+  return x + y + gen() + t + static_cast<int>(now.time_since_epoch().count());
+}

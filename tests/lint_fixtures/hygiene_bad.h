@@ -1,0 +1,8 @@
+#include <ctime>
+#include <iostream>
+
+#include "zeta.h"
+#include "alpha.h"
+#include <vector>
+
+inline int fixture_clock() { return 0; }

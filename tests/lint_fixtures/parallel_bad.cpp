@@ -1,0 +1,14 @@
+#include "util/rng.h"
+
+void fixture(util::Rng& rng, std::vector<double>& out) {
+  util::parallel_for(0, out.size(), 64, [&](std::size_t b, std::size_t e) {
+    for (std::size_t k = b; k < e; ++k) {
+      out[k] = rng.normal();
+      util::telemetry::count("fixture.samples", 1);
+    }
+  });
+  util::parallel_for(0, out.size(), 64, [&](std::size_t b, std::size_t e) {
+    util::Rng local = util::Rng::stream(7, b);
+    for (std::size_t k = b; k < e; ++k) out[k] = local.normal();
+  });
+}

@@ -1,0 +1,15 @@
+#include "util/contracts.h"
+
+namespace repro::core {
+
+double no_contract(const linalg::Matrix& a) { return a(0, 0); }
+
+double with_contract(const linalg::Matrix& a) {
+  REPRO_CHECK_DIM(a.rows(), a.cols(), "fixture: square");
+  return a(0, 0);
+}
+
+// repro-lint: allow(contracts)
+double waived(const linalg::Vector& v) { return v[0]; }
+
+}  // namespace repro::core

@@ -1,0 +1,113 @@
+// Contract layer (src/util/contracts.h): in checked builds (Debug, or
+// -DREPRO_CONTRACTS=ON) a violated precondition throws ContractViolation
+// with file:line and the stated message; in Release the macros compile to
+// nothing and the documented unconditional behavior is all that remains.
+// Both sides are asserted here, branching on contracts_enabled().
+#include "util/contracts.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/error_model.h"
+#include "linalg/gemm.h"
+#include "linalg/solve.h"
+
+namespace {
+
+using repro::util::ContractViolation;
+using repro::util::contracts_enabled;
+
+TEST(Contracts, MacroIsNoOpInReleaseAndThrowsWhenChecked) {
+  if (contracts_enabled()) {
+    EXPECT_THROW(REPRO_CHECK(false, "deliberate failure"), ContractViolation);
+    EXPECT_NO_THROW(REPRO_CHECK(true, "holds"));
+  } else {
+    // Compiled out: a false condition must not evaluate, throw, or abort.
+    EXPECT_NO_THROW(REPRO_CHECK(false, "compiled out"));
+    EXPECT_NO_THROW(REPRO_CHECK_DIM(1, 2, "compiled out"));
+  }
+}
+
+TEST(Contracts, ViolationRefinesInvalidArgument) {
+  if (!contracts_enabled()) GTEST_SKIP() << "contracts compiled out";
+  // A contract firing ahead of a function's documented unconditional
+  // std::invalid_argument must not change what callers can catch.
+  EXPECT_THROW(REPRO_CHECK(false, "hierarchy"), std::invalid_argument);
+  EXPECT_THROW(REPRO_CHECK_DIM(1, 2, "hierarchy"), std::logic_error);
+}
+
+TEST(Contracts, ViolationMessageCarriesContext) {
+  if (!contracts_enabled()) GTEST_SKIP() << "contracts compiled out";
+  try {
+    REPRO_CHECK_DIM(3, 5, "unit test context");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unit test context"), std::string::npos) << what;
+    EXPECT_NE(what.find("3"), std::string::npos) << what;
+    EXPECT_NE(what.find("5"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Contracts, GemmInnerDimensionMismatch) {
+  const repro::linalg::Matrix a(2, 3);
+  const repro::linalg::Matrix b(4, 2);  // inner 3 != 4
+  if (contracts_enabled()) {
+    EXPECT_THROW(repro::linalg::multiply(a, b), ContractViolation);
+  } else {
+    // The unconditional API validation stays in Release.
+    EXPECT_THROW(repro::linalg::multiply(a, b), std::invalid_argument);
+  }
+}
+
+TEST(Contracts, SpdSolveRobustDimMismatch) {
+  repro::linalg::Matrix s(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) s(i, i) = 1.0;
+  const repro::linalg::Matrix b(2, 1);  // rhs rows 2 != 3
+
+  if (contracts_enabled()) {
+    // A shape mismatch is a caller bug, distinct from fault-injected *data*:
+    // checked builds refuse it loudly.
+    EXPECT_THROW(repro::linalg::spd_solve_robust(s, b, nullptr, 1e12),
+                 ContractViolation);
+  } else {
+    // Release keeps the documented graceful path for noisy-silicon flows.
+    repro::linalg::SpdSolveInfo info;
+    const repro::linalg::Matrix x =
+        repro::linalg::spd_solve_robust(s, b, &info, 1e12);
+    EXPECT_FALSE(info.ok);
+    EXPECT_EQ(x.rows(), s.rows());
+  }
+}
+
+TEST(Contracts, SelectionErrorsFromGramRequiresSquare) {
+  if (!contracts_enabled()) GTEST_SKIP() << "contracts compiled out";
+  const repro::linalg::Matrix gram(4, 3);
+  EXPECT_THROW(
+      repro::core::selection_errors_from_gram(gram, {0}, 1.0, 3.0),
+      ContractViolation);
+}
+
+TEST(Contracts, ValidCallsPassUnderContracts) {
+  // The rolled-out checks must not reject well-formed inputs in any build.
+  repro::linalg::Matrix a(2, 3);
+  repro::linalg::Matrix b(3, 2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      a(i, j) = static_cast<double>(i + j + 1);
+      b(j, i) = static_cast<double>(i * j + 1);
+    }
+  }
+  const repro::linalg::Matrix c = repro::linalg::multiply(a, b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 2u);
+
+  repro::linalg::Matrix gram = repro::linalg::gram(a);
+  const repro::core::SelectionErrors errors =
+      repro::core::selection_errors_from_gram(gram, {0}, 1.0, 3.0);
+  EXPECT_GE(errors.eps_r, 0.0);
+}
+
+}  // namespace

@@ -2,8 +2,8 @@
 // benchmark, checking the paper's qualitative claims hold on our substrate.
 #include <gtest/gtest.h>
 
-#include <cmath>
 #include <algorithm>
+#include <cmath>
 
 #include "core/benchmarks.h"
 #include "core/effective_rank.h"

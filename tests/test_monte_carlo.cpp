@@ -2,8 +2,8 @@
 
 #include <gtest/gtest.h>
 
-#include <cmath>
 #include <algorithm>
+#include <cmath>
 
 #include <memory>
 

@@ -1,0 +1,190 @@
+// The linter is itself under test: the fixtures in tests/lint_fixtures/ are
+// deliberate violations with known counts, and the tree itself must scan
+// clean.  LINT_FIXTURE_DIR and REPRO_SOURCE_ROOT come from the build system.
+#include "lint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+using repro_lint::Finding;
+using repro_lint::Options;
+using repro_lint::Report;
+
+// Fixture scans must not honor the default skip list (it exists precisely to
+// hide the fixtures from tree scans).
+Options fixture_options() {
+  Options options;
+  options.roots = {LINT_FIXTURE_DIR};
+  options.skip.clear();
+  return options;
+}
+
+std::map<std::string, int> count_by_check(const Report& report) {
+  std::map<std::string, int> counts;
+  for (const Finding& f : report.findings) ++counts[f.check];
+  return counts;
+}
+
+TEST(ReproLint, FixtureCountsAreExact) {
+  const Report report = repro_lint::run_lint(fixture_options());
+  const std::map<std::string, int> counts = count_by_check(report);
+
+  EXPECT_EQ(counts.at("determinism"), 6);
+  EXPECT_EQ(counts.at("parallel-rng"), 1);
+  EXPECT_EQ(counts.at("parallel-telemetry"), 1);
+  EXPECT_EQ(counts.at("contracts"), 1);
+  EXPECT_EQ(counts.at("pragma-once"), 1);
+  EXPECT_EQ(counts.at("banned-include"), 2);
+  EXPECT_EQ(counts.at("include-order"), 2);
+  EXPECT_EQ(report.findings.size(), 14u);
+  // One determinism allow() and one contracts allow() in the fixtures.
+  EXPECT_EQ(report.suppressed, 2);
+  EXPECT_EQ(report.files_scanned, 4);
+}
+
+TEST(ReproLint, EveryCheckHasAFixtureTruePositive) {
+  const Report report = repro_lint::run_lint(fixture_options());
+  const std::map<std::string, int> counts = count_by_check(report);
+  for (const char* check :
+       {"determinism", "parallel-rng", "parallel-telemetry", "contracts",
+        "pragma-once", "banned-include", "include-order"}) {
+    EXPECT_GT(counts.count(check), 0u) << "no true positive for " << check;
+  }
+}
+
+TEST(ReproLint, DeterminismFlagsBannedSourcesNotSteadyClock) {
+  Options options;
+  const Report bad = repro_lint::lint_source(
+      "probe.cpp", "int f() { return rand(); }\n", options);
+  ASSERT_EQ(bad.findings.size(), 1u);
+  EXPECT_EQ(bad.findings[0].check, "determinism");
+  EXPECT_EQ(bad.findings[0].line, 1);
+
+  const Report ok = repro_lint::lint_source(
+      "probe.cpp",
+      "auto t0 = std::chrono::steady_clock::now();\n", options);
+  EXPECT_TRUE(ok.findings.empty());
+}
+
+TEST(ReproLint, SuppressionSameLineAndLineAboveAndFileWide) {
+  Options options;
+  const Report same_line = repro_lint::lint_source(
+      "probe.cpp", "int x = rand();  // repro-lint: allow(determinism)\n",
+      options);
+  EXPECT_TRUE(same_line.findings.empty());
+  EXPECT_EQ(same_line.suppressed, 1);
+
+  const Report line_above = repro_lint::lint_source(
+      "probe.cpp",
+      "// repro-lint: allow(determinism)\nint x = rand();\n", options);
+  EXPECT_TRUE(line_above.findings.empty());
+  EXPECT_EQ(line_above.suppressed, 1);
+
+  const Report file_wide = repro_lint::lint_source(
+      "probe.cpp",
+      "// repro-lint: allow-file(determinism)\n"
+      "int x = rand();\nint y = rand();\n",
+      options);
+  EXPECT_TRUE(file_wide.findings.empty());
+  EXPECT_EQ(file_wide.suppressed, 2);
+
+  // A suppression names its check: allowing determinism does not silence a
+  // different check on the same line.
+  const Report wrong_check = repro_lint::lint_source(
+      "probe.cpp", "int x = rand();  // repro-lint: allow(contracts)\n",
+      options);
+  EXPECT_EQ(wrong_check.findings.size(), 1u);
+}
+
+TEST(ReproLint, CanonicalParallelPatternIsClean) {
+  Options options;
+  // The monte_carlo.cpp shape: chunk-local stream, telemetry after the join.
+  const Report report = repro_lint::lint_source(
+      "probe.cpp",
+      "void f(std::vector<double>& out) {\n"
+      "  util::parallel_for(0, out.size(), 64,\n"
+      "                     [&](std::size_t b, std::size_t e) {\n"
+      "    for (std::size_t k = b; k < e; ++k) {\n"
+      "      util::Rng rng = util::Rng::stream(7, k);\n"
+      "      out[k] = rng.normal();\n"
+      "    }\n"
+      "  });\n"
+      "  util::telemetry::count(\"f.samples\", out.size());\n"
+      "}\n",
+      options);
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(ReproLint, ContractCheckScopedToContractDirs) {
+  Options options;
+  const std::string body =
+      "namespace repro::core {\n"
+      "double f(const linalg::Matrix& a) { return a(0, 0); }\n"
+      "}\n";
+  const Report in_scope =
+      repro_lint::lint_source("src/core/probe.cpp", body, options);
+  EXPECT_EQ(in_scope.findings.size(), 1u);
+  EXPECT_EQ(in_scope.findings[0].check, "contracts");
+
+  const Report out_of_scope =
+      repro_lint::lint_source("src/timing/probe.cpp", body, options);
+  EXPECT_TRUE(out_of_scope.findings.empty());
+}
+
+TEST(ReproLint, CliExitCodes) {
+  const std::string fixture_dir = LINT_FIXTURE_DIR;
+
+  {
+    const char* argv[] = {"repro_lint", "--bogus-flag"};
+    EXPECT_EQ(repro_lint::run_cli(2, argv), 2);
+  }
+  {
+    // The default skip list hides lint_fixtures, so pointing the CLI at the
+    // fixture dir scans nothing: a usage error, not a silent pass.
+    const char* argv[] = {"repro_lint", fixture_dir.c_str(),
+                          "--error-on-findings"};
+    EXPECT_EQ(repro_lint::run_cli(3, argv), 2);
+  }
+
+  // Findings drive the exit code only under --error-on-findings.
+  const std::string dirty = testing::TempDir() + "repro_lint_dirty.cpp";
+  {
+    std::ofstream out(dirty);
+    out << "int x = rand();\n";
+  }
+  {
+    const char* argv[] = {"repro_lint", dirty.c_str(), "--error-on-findings"};
+    EXPECT_EQ(repro_lint::run_cli(3, argv), 1);
+  }
+  {
+    const char* argv[] = {"repro_lint", dirty.c_str()};
+    EXPECT_EQ(repro_lint::run_cli(2, argv), 0);
+  }
+  std::remove(dirty.c_str());
+
+  const std::string clean = testing::TempDir() + "repro_lint_clean.cpp";
+  {
+    std::ofstream out(clean);
+    out << "int answer() { return 42; }\n";
+  }
+  {
+    const char* argv[] = {"repro_lint", clean.c_str(), "--error-on-findings"};
+    EXPECT_EQ(repro_lint::run_cli(3, argv), 0);
+  }
+  std::remove(clean.c_str());
+}
+
+TEST(ReproLint, SourceTreeIsClean) {
+  const char* argv[] = {"repro_lint", "--root", REPRO_SOURCE_ROOT,
+                        "--error-on-findings"};
+  EXPECT_EQ(repro_lint::run_cli(4, argv), 0);
+}
+
+}  // namespace

@@ -5,8 +5,8 @@
 #include <algorithm>
 #include <set>
 
-#include "linalg/gemm.h"
 #include "core/error_model.h"
+#include "linalg/gemm.h"
 #include "linalg/solve.h"
 #include "util/rng.h"
 

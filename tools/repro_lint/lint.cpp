@@ -1,0 +1,824 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace repro_lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer.  Comments and preprocessor directives are captured separately:
+// comments feed the suppression map, directives feed the hygiene checks, and
+// neither appears in the main token stream the semantic checks walk.
+// ---------------------------------------------------------------------------
+
+enum class Kind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct Directive {
+  std::string text;  // whole logical line, backslash-continuations joined
+  int line;
+};
+
+struct Source {
+  std::vector<Token> tokens;
+  std::vector<Directive> directives;
+  // line -> checks suppressed on that line (and the line below).
+  std::map<int, std::set<std::string>> line_allow;
+  std::set<std::string> file_allow;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Parses "repro-lint: allow(a, b)" / "repro-lint: allow-file(a)" occurrences
+// inside a comment and records them for `line`.
+void scan_comment(const std::string& comment, int line, Source& out) {
+  const std::string marker = "repro-lint:";
+  std::size_t pos = comment.find(marker);
+  while (pos != std::string::npos) {
+    std::size_t p = pos + marker.size();
+    while (p < comment.size() && comment[p] == ' ') ++p;
+    bool file_wide = false;
+    if (comment.compare(p, 10, "allow-file") == 0) {
+      file_wide = true;
+      p += 10;
+    } else if (comment.compare(p, 5, "allow") == 0) {
+      p += 5;
+    } else {
+      pos = comment.find(marker, p);
+      continue;
+    }
+    while (p < comment.size() && comment[p] == ' ') ++p;
+    if (p < comment.size() && comment[p] == '(') {
+      const std::size_t close = comment.find(')', p);
+      if (close != std::string::npos) {
+        std::string name;
+        for (std::size_t i = p + 1; i <= close; ++i) {
+          const char c = comment[i];
+          if (c == ',' || c == ')') {
+            if (!name.empty()) {
+              if (file_wide) {
+                out.file_allow.insert(name);
+              } else {
+                out.line_allow[line].insert(name);
+              }
+            }
+            name.clear();
+          } else if (c != ' ') {
+            name += c;
+          }
+        }
+        p = close + 1;
+      }
+    }
+    pos = comment.find(marker, p);
+  }
+}
+
+Source tokenize(const std::string& src) {
+  Source out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto advance_newlines = [&](std::size_t from, std::size_t to) {
+    for (std::size_t k = from; k < to; ++k) {
+      if (src[k] == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: capture the whole logical line.
+    if (c == '#' && at_line_start) {
+      const int start_line = line;
+      std::string text;
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          text += ' ';
+          continue;
+        }
+        text += src[i++];
+      }
+      out.directives.push_back({text, start_line});
+      continue;
+    }
+    at_line_start = false;
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t end = src.find('\n', i);
+      const std::size_t stop = (end == std::string::npos) ? n : end;
+      scan_comment(src.substr(i, stop - i), line, out);
+      i = stop;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t end = src.find("*/", i + 2);
+      const std::size_t stop = (end == std::string::npos) ? n : end + 2;
+      scan_comment(src.substr(i, stop - i), line, out);
+      advance_newlines(i, stop);
+      i = stop;
+      continue;
+    }
+    // Raw string literal.
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && src[p] != '(') delim += src[p++];
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = src.find(closer, p);
+      const std::size_t stop =
+          (end == std::string::npos) ? n : end + closer.size();
+      out.tokens.push_back({Kind::kString, src.substr(i, stop - i), line});
+      advance_newlines(i, stop);
+      i = stop;
+      continue;
+    }
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t p = i + 1;
+      while (p < n && src[p] != quote) {
+        if (src[p] == '\\' && p + 1 < n) ++p;
+        if (src[p] == '\n') ++line;
+        ++p;
+      }
+      const std::size_t stop = (p < n) ? p + 1 : n;
+      out.tokens.push_back({quote == '"' ? Kind::kString : Kind::kChar,
+                            src.substr(i, stop - i), line});
+      i = stop;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t p = i + 1;
+      while (p < n && ident_char(src[p])) ++p;
+      out.tokens.push_back({Kind::kIdent, src.substr(i, p - i), line});
+      i = p;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t p = i + 1;
+      while (p < n && (ident_char(src[p]) || src[p] == '.' ||
+                       ((src[p] == '+' || src[p] == '-') &&
+                        (src[p - 1] == 'e' || src[p - 1] == 'E')))) {
+        ++p;
+      }
+      out.tokens.push_back({Kind::kNumber, src.substr(i, p - i), line});
+      i = p;
+      continue;
+    }
+    // Punctuation; multi-char operators the checks care about.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      out.tokens.push_back({Kind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      out.tokens.push_back({Kind::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({Kind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shared token helpers.
+// ---------------------------------------------------------------------------
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Kind::kPunct && t.text == text;
+}
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == Kind::kIdent && t.text == text;
+}
+
+// Index of the token matching the opener at `open` ("(" / "{" / "["), or
+// tokens.size() when unbalanced.
+std::size_t match_forward(const std::vector<Token>& toks, std::size_t open,
+                          const char* opener, const char* closer) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], opener)) ++depth;
+    if (is_punct(toks[i], closer) && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+bool path_contains(const std::string& normalized, const std::string& needle) {
+  return normalized.find(needle) != std::string::npos;
+}
+
+std::string normalize_path(const std::string& path) {
+  std::string out = path;
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+bool is_header(const std::string& normalized) {
+  return normalized.size() >= 2 &&
+         (normalized.rfind(".h") == normalized.size() - 2 ||
+          (normalized.size() >= 4 &&
+           normalized.rfind(".hpp") == normalized.size() - 4));
+}
+
+// ---------------------------------------------------------------------------
+// Check 1: determinism.
+// ---------------------------------------------------------------------------
+
+void check_determinism(const std::string& path, const Source& src,
+                       std::vector<Finding>& out) {
+  static const std::set<std::string> banned_idents = {
+      "random_device",         "system_clock", "mt19937",
+      "mt19937_64",            "minstd_rand",  "minstd_rand0",
+      "default_random_engine", "random_shuffle"};
+  static const std::set<std::string> banned_calls = {"rand", "srand", "time",
+                                                     "clock"};
+  const auto& toks = src.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Kind::kIdent) continue;
+    // Member access (x.time(), p->clock()) is not the libc symbol.
+    if (i > 0 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
+      continue;
+    }
+    // Qualified names other than std:: (e.g. Foo::time) are project symbols.
+    if (i > 1 && is_punct(toks[i - 1], "::") && !is_ident(toks[i - 2], "std") &&
+        !is_ident(toks[i - 2], "chrono")) {
+      continue;
+    }
+    const bool called =
+        i + 1 < toks.size() && is_punct(toks[i + 1], "(");
+    if (banned_idents.count(toks[i].text) ||
+        (called && banned_calls.count(toks[i].text))) {
+      out.push_back(
+          {path, toks[i].line, "determinism",
+           "nondeterministic source '" + toks[i].text +
+               "': every draw must come from util::Rng (seeded, or "
+               "Rng::stream(seed, index)); wall-clock timing belongs in "
+               "telemetry spans (steady_clock)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Check 2: parallel-region discipline.
+// ---------------------------------------------------------------------------
+
+void check_parallel(const std::string& path, const Source& src,
+                    std::vector<Finding>& out) {
+  static const std::set<std::string> rng_methods = {
+      "next_u64", "uniform", "uniform_index", "normal", "shuffle", "fork"};
+  const auto& toks = src.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "parallel_for") || !is_punct(toks[i + 1], "(")) {
+      continue;
+    }
+    const std::size_t call_end = match_forward(toks, i + 1, "(", ")");
+    // First lambda inside the call's argument list.
+    std::size_t intro = toks.size();
+    for (std::size_t k = i + 2; k < call_end; ++k) {
+      if (is_punct(toks[k], "[")) {
+        intro = k;
+        break;
+      }
+    }
+    if (intro >= call_end) continue;
+    const std::size_t intro_end = match_forward(toks, intro, "[", "]");
+    std::size_t body_open = toks.size();
+    for (std::size_t k = intro_end + 1; k < call_end; ++k) {
+      if (is_punct(toks[k], "{")) {
+        body_open = k;
+        break;
+      }
+    }
+    if (body_open >= call_end) continue;
+    const std::size_t body_end = match_forward(toks, body_open, "{", "}");
+
+    // Generators derived inside the body (`Rng x = ...`, or
+    // `auto x = ...stream/fork(...)`) are chunk-local and fine.
+    std::set<std::string> local_rngs;
+    for (std::size_t k = body_open; k < body_end; ++k) {
+      if (is_ident(toks[k], "Rng") && k + 1 < body_end &&
+          toks[k + 1].kind == Kind::kIdent) {
+        local_rngs.insert(toks[k + 1].text);
+      }
+      if (is_ident(toks[k], "auto") && k + 2 < body_end &&
+          toks[k + 1].kind == Kind::kIdent && is_punct(toks[k + 2], "=")) {
+        for (std::size_t p = k + 3; p < body_end && !is_punct(toks[p], ";");
+             ++p) {
+          if (is_ident(toks[p], "stream") || is_ident(toks[p], "fork")) {
+            local_rngs.insert(toks[k + 1].text);
+            break;
+          }
+        }
+      }
+    }
+
+    for (std::size_t k = body_open; k + 3 < body_end; ++k) {
+      // captured_rng.normal(...) / ptr->uniform(...)
+      if (toks[k].kind == Kind::kIdent &&
+          (is_punct(toks[k + 1], ".") || is_punct(toks[k + 1], "->")) &&
+          toks[k + 2].kind == Kind::kIdent &&
+          rng_methods.count(toks[k + 2].text) && is_punct(toks[k + 3], "(") &&
+          !local_rngs.count(toks[k].text)) {
+        out.push_back(
+            {path, toks[k].line, "parallel-rng",
+             "parallel_for body draws from captured generator '" +
+                 toks[k].text + "." + toks[k + 2].text +
+                 "()': results then depend on the chunk schedule; derive a "
+                 "chunk-local stream with util::Rng::stream(seed, index)"});
+      }
+      // telemetry::count / telemetry::set_gauge / telemetry::Span
+      if (is_ident(toks[k], "telemetry") && is_punct(toks[k + 1], "::") &&
+          toks[k + 2].kind == Kind::kIdent) {
+        const std::string& member = toks[k + 2].text;
+        if (member == "count" || member == "set_gauge" || member == "Span") {
+          out.push_back(
+              {path, toks[k].line, "parallel-telemetry",
+               "telemetry::" + member +
+                   " inside a parallel_for body: accumulate into a per-chunk "
+                   "local and flush once after the join (core/monte_carlo.cpp "
+                   "pattern) so hot loops never touch the registry"});
+        }
+      }
+    }
+    i = body_end;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Check 3: contract coverage.
+//
+// Walks namespace-scope function definitions in the numeric implementation
+// files; any public (non-static, non-anonymous-namespace) definition whose
+// parameter list mentions Matrix or Vector must invoke REPRO_CHECK* in its
+// body.  Class bodies are skipped wholesale (the public numeric API is free
+// functions and out-of-line methods).
+// ---------------------------------------------------------------------------
+
+bool is_control_keyword(const std::string& s) {
+  static const std::set<std::string> kw = {
+      "if",     "for",           "while",   "switch", "catch",
+      "return", "static_assert", "sizeof",  "alignof", "decltype",
+      "throw",  "new",           "delete",  "operator"};
+  return kw.count(s) != 0;
+}
+
+void check_contracts(const std::string& path, const Source& src,
+                     std::vector<Finding>& out) {
+  const auto& toks = src.tokens;
+  struct Scope {
+    bool anonymous_namespace = false;
+  };
+  std::vector<Scope> scopes;  // one entry per currently-open brace
+  bool anon_depth = false;
+
+  auto in_anon = [&] {
+    for (const Scope& s : scopes) {
+      if (s.anonymous_namespace) return true;
+    }
+    return false;
+  };
+  (void)anon_depth;
+
+  std::size_t stmt_start = 0;  // token index where the current decl began
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (is_punct(t, ";")) {
+      stmt_start = i + 1;
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      if (!scopes.empty()) scopes.pop_back();
+      stmt_start = i + 1;
+      continue;
+    }
+    // namespace [name] { ... }
+    if (is_ident(t, "namespace")) {
+      std::size_t k = i + 1;
+      bool anonymous = true;
+      while (k < toks.size() && !is_punct(toks[k], "{") &&
+             !is_punct(toks[k], ";") && !is_punct(toks[k], "=")) {
+        if (toks[k].kind == Kind::kIdent) anonymous = false;
+        ++k;
+      }
+      if (k < toks.size() && is_punct(toks[k], "{")) {
+        scopes.push_back({anonymous});
+        i = k;
+        stmt_start = k + 1;
+      }
+      continue;
+    }
+    // class/struct/union/enum body: skip entirely.
+    if ((is_ident(t, "class") || is_ident(t, "struct") ||
+         is_ident(t, "union") || is_ident(t, "enum"))) {
+      std::size_t k = i + 1;
+      int angle = 0;
+      while (k < toks.size() && !is_punct(toks[k], ";")) {
+        if (is_punct(toks[k], "<")) ++angle;
+        if (is_punct(toks[k], ">")) --angle;
+        if (is_punct(toks[k], "{") && angle <= 0) break;
+        // An '=' before the body means this is actually a variable of class
+        // type (`struct X x = ...` does not occur here) — bail to ';'.
+        ++k;
+      }
+      if (k < toks.size() && is_punct(toks[k], "{")) {
+        const std::size_t end = match_forward(toks, k, "{", "}");
+        i = end;
+        stmt_start = end + 1;
+      } else {
+        i = k;
+        stmt_start = k + 1;
+      }
+      continue;
+    }
+    if (!is_punct(t, "(")) continue;
+
+    // Candidate function definition: <qualified-name> ( params ) ... {
+    // Resolve the name by walking back over `ident (:: ident)*`.
+    std::size_t name_idx = i;
+    std::string simple_name;
+    if (i >= 1 && toks[i - 1].kind == Kind::kIdent) {
+      name_idx = i - 1;
+      simple_name = toks[i - 1].text;
+    } else if (i >= 2 && toks[i - 1].kind == Kind::kPunct &&
+               is_ident(toks[i - 2], "operator")) {
+      name_idx = i - 2;
+      simple_name = "operator" + toks[i - 1].text;
+    } else {
+      // e.g. a cast or parenthesized expression.
+      const std::size_t close = match_forward(toks, i, "(", ")");
+      i = close;
+      continue;
+    }
+    if (is_control_keyword(simple_name) && simple_name != "operator") {
+      const std::size_t close = match_forward(toks, i, "(", ")");
+      i = close;
+      continue;
+    }
+    const std::size_t params_end = match_forward(toks, i, "(", ")");
+    if (params_end >= toks.size()) break;
+    // After the parameter list: const/noexcept/ref-qualifiers, then `{` for
+    // a definition (`;`, `=`, `,` etc. mean declaration or expression).
+    std::size_t k = params_end + 1;
+    while (k < toks.size() &&
+           (is_ident(toks[k], "const") || is_ident(toks[k], "noexcept") ||
+            is_ident(toks[k], "override") || is_ident(toks[k], "final") ||
+            is_punct(toks[k], "&"))) {
+      ++k;
+    }
+    if (k >= toks.size() || !is_punct(toks[k], "{")) {
+      i = params_end;
+      continue;
+    }
+    const std::size_t body_end = match_forward(toks, k, "{", "}");
+
+    bool takes_matrix_or_vector = false;
+    for (std::size_t p = i + 1; p < params_end; ++p) {
+      if (is_ident(toks[p], "Matrix") || is_ident(toks[p], "Vector")) {
+        takes_matrix_or_vector = true;
+        break;
+      }
+    }
+    bool is_static = false;
+    for (std::size_t p = stmt_start; p < name_idx && p < toks.size(); ++p) {
+      if (is_ident(toks[p], "static")) is_static = true;
+    }
+    if (takes_matrix_or_vector && !is_static && !in_anon()) {
+      bool has_check = false;
+      for (std::size_t p = k; p < body_end; ++p) {
+        if (toks[p].kind == Kind::kIdent &&
+            toks[p].text.rfind("REPRO_CHECK", 0) == 0) {
+          has_check = true;
+          break;
+        }
+      }
+      if (!has_check) {
+        out.push_back(
+            {path, toks[name_idx].line, "contracts",
+             "public function '" + simple_name +
+                 "' takes Matrix/Vector but invokes no REPRO_CHECK / "
+                 "REPRO_CHECK_DIM (src/util/contracts.h); state its "
+                 "preconditions or suppress with a reason"});
+      }
+    }
+    i = body_end;
+    stmt_start = body_end + 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Check 4: header hygiene.
+// ---------------------------------------------------------------------------
+
+// "#include <x>" -> {angle, "x"}; empty name when not an include.
+struct IncludeLine {
+  bool angle = false;
+  std::string name;
+  int line = 0;
+};
+
+IncludeLine parse_include(const Directive& d) {
+  IncludeLine out;
+  std::size_t p = 1;  // past '#'
+  while (p < d.text.size() && std::isspace(static_cast<unsigned char>(
+                                  d.text[p]))) {
+    ++p;
+  }
+  if (d.text.compare(p, 7, "include") != 0) return out;
+  p += 7;
+  while (p < d.text.size() && std::isspace(static_cast<unsigned char>(
+                                  d.text[p]))) {
+    ++p;
+  }
+  if (p >= d.text.size()) return out;
+  const char open = d.text[p];
+  const char close = (open == '<') ? '>' : (open == '"') ? '"' : '\0';
+  if (close == '\0') return out;
+  const std::size_t end = d.text.find(close, p + 1);
+  if (end == std::string::npos) return out;
+  out.angle = (open == '<');
+  out.name = d.text.substr(p + 1, end - p - 1);
+  out.line = d.line;
+  return out;
+}
+
+void check_hygiene(const std::string& path, const Source& src,
+                   std::vector<Finding>& out) {
+  const bool header = is_header(path);
+  if (header) {
+    bool pragma_once = false;
+    for (const Directive& d : src.directives) {
+      std::string squeezed;
+      for (char c : d.text) {
+        if (!std::isspace(static_cast<unsigned char>(c))) squeezed += c;
+      }
+      if (squeezed == "#pragmaonce") {
+        pragma_once = true;
+        break;
+      }
+    }
+    if (!pragma_once) {
+      out.push_back({path, 1, "pragma-once",
+                     "header is missing #pragma once (every header in this "
+                     "repository uses it as the include guard)"});
+    }
+  }
+
+  static const std::set<std::string> banned = {"ctime", "time.h", "sys/time.h",
+                                               "random"};
+  std::vector<IncludeLine> includes;
+  for (const Directive& d : src.directives) {
+    IncludeLine inc = parse_include(d);
+    if (inc.name.empty()) continue;
+    if (inc.angle && banned.count(inc.name)) {
+      out.push_back({path, inc.line, "banned-include",
+                     "#include <" + inc.name +
+                         ">: wall-clock and std random engines are banned "
+                         "(util::Rng for randomness, telemetry spans / "
+                         "steady_clock for timing)"});
+    }
+    if (inc.angle && header && inc.name == "iostream") {
+      out.push_back({path, inc.line, "banned-include",
+                     "#include <iostream> in a header: include <iosfwd> in "
+                     "the header and <iostream>/<ostream> in the .cpp"});
+    }
+    includes.push_back(inc);
+  }
+
+  // Include order, per contiguous block (blank or non-include lines break a
+  // block).  The first block of a .cpp is exempt when it is a single quoted
+  // include (the convention places the file's own header there).
+  std::vector<std::vector<IncludeLine>> blocks;
+  for (const IncludeLine& inc : includes) {
+    if (blocks.empty() || inc.line != blocks.back().back().line + 1) {
+      blocks.emplace_back();
+    }
+    blocks.back().push_back(inc);
+  }
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const auto& block = blocks[b];
+    if (b == 0 && !header && block.size() == 1 && !block[0].angle) continue;
+    bool seen_quote = false;
+    const IncludeLine* prev_angle = nullptr;
+    const IncludeLine* prev_quote = nullptr;
+    for (const IncludeLine& inc : block) {
+      if (inc.angle) {
+        if (seen_quote) {
+          out.push_back({path, inc.line, "include-order",
+                         "angle include <" + inc.name +
+                             "> after a quoted include in the same block; "
+                             "system headers go in their own earlier block"});
+        }
+        if (prev_angle && prev_angle->name > inc.name) {
+          out.push_back({path, inc.line, "include-order",
+                         "includes not alphabetized: <" + inc.name +
+                             "> after <" + prev_angle->name + ">"});
+        }
+        prev_angle = &inc;
+      } else {
+        seen_quote = true;
+        if (prev_quote && prev_quote->name > inc.name) {
+          out.push_back({path, inc.line, "include-order",
+                         "includes not alphabetized: \"" + inc.name +
+                             "\" after \"" + prev_quote->name + "\""});
+        }
+        prev_quote = &inc;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------------
+
+bool checked_extension(const std::string& normalized) {
+  for (const char* ext : {".h", ".hpp", ".cpp", ".cc"}) {
+    const std::string e = ext;
+    if (normalized.size() >= e.size() &&
+        normalized.compare(normalized.size() - e.size(), e.size(), e) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Report lint_source(const std::string& path, const std::string& content,
+                   const Options& options) {
+  const std::string normalized = normalize_path(path);
+  const Source src = tokenize(content);
+
+  std::vector<Finding> raw;
+  check_determinism(path, src, raw);
+  check_parallel(path, src, raw);
+  for (const std::string& dir : options.contract_dirs) {
+    if (path_contains(normalized, dir) && !is_header(normalized)) {
+      check_contracts(path, src, raw);
+      break;
+    }
+  }
+  check_hygiene(normalized, src, raw);
+
+  Report report;
+  report.files_scanned = 1;
+  for (Finding& f : raw) {
+    f.file = path;
+    bool suppressed = src.file_allow.count(f.check) ||
+                      src.file_allow.count("all");
+    for (int l : {f.line, f.line - 1}) {
+      const auto it = src.line_allow.find(l);
+      if (it != src.line_allow.end() &&
+          (it->second.count(f.check) || it->second.count("all"))) {
+        suppressed = true;
+      }
+    }
+    if (suppressed) {
+      ++report.suppressed;
+    } else {
+      report.findings.push_back(std::move(f));
+    }
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.check) <
+                     std::tie(b.file, b.line, b.check);
+            });
+  return report;
+}
+
+Report run_lint(const Options& options) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& root : options.roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (fs::recursive_directory_iterator it(root, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        if (!it->is_regular_file()) continue;
+        files.push_back(it->path().string());
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  Report merged;
+  for (const std::string& file : files) {
+    const std::string normalized = normalize_path(file);
+    if (!checked_extension(normalized)) continue;
+    bool skipped = false;
+    for (const std::string& s : options.skip) {
+      if (path_contains(normalized, s)) skipped = true;
+    }
+    if (skipped) continue;
+    std::ifstream in(file, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Report r = lint_source(file, buf.str(), options);
+    merged.files_scanned += r.files_scanned;
+    merged.suppressed += r.suppressed;
+    merged.findings.insert(merged.findings.end(),
+                           std::make_move_iterator(r.findings.begin()),
+                           std::make_move_iterator(r.findings.end()));
+  }
+  return merged;
+}
+
+int run_cli(int argc, const char* const* argv) {
+  Options options;
+  std::string root;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--error-on-findings") {
+      options.error_on_findings = true;
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "repro_lint: --root needs a directory\n";
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout
+          << "usage: repro_lint [--root DIR] [--error-on-findings] "
+             "[paths...]\n\n"
+             "Scans src/, bench/, examples/, tests/ under --root (default\n"
+             "current directory) unless explicit paths are given.  Checks:\n"
+             "determinism, parallel-rng, parallel-telemetry, contracts,\n"
+             "pragma-once, banned-include, include-order.  Suppress with\n"
+             "  // repro-lint: allow(<check>)       (same line or line above)\n"
+             "  // repro-lint: allow-file(<check>)  (whole file)\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "repro_lint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    if (root.empty()) root = ".";
+    for (const char* sub : {"src", "bench", "examples", "tests"}) {
+      options.roots.push_back(root + "/" + sub);
+    }
+  } else {
+    for (std::string& p : paths) {
+      options.roots.push_back(root.empty() ? p : root + "/" + p);
+    }
+  }
+
+  const Report report = run_lint(options);
+  for (const Finding& f : report.findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.check << "] "
+              << f.message << "\n";
+  }
+  std::cout << "repro_lint: " << report.findings.size() << " finding(s), "
+            << report.suppressed << " suppressed, " << report.files_scanned
+            << " file(s) scanned\n";
+  if (report.files_scanned == 0) {
+    std::cerr << "repro_lint: nothing to scan (check --root / paths)\n";
+    return 2;
+  }
+  return (options.error_on_findings && !report.findings.empty()) ? 1 : 0;
+}
+
+}  // namespace repro_lint

@@ -1,0 +1,83 @@
+// repro_lint: project-invariant static analysis for the reproduction.
+//
+// The repository's correctness story — bit-identical parallel Monte Carlo,
+// deterministic fault injection, per-chunk telemetry accumulation, contract
+// checks on every numeric entry point — rests on conventions that a compiler
+// cannot enforce.  This standalone analyzer (a tokenizer plus a lightweight
+// scope tracker; no libclang) turns them into machine-checked invariants:
+//
+//   determinism         rand()/srand(), std::random_device, time(), clock(),
+//                       system_clock, std:: engines (mt19937, ...) anywhere
+//                       in checked sources.  util::Rng is the only sanctioned
+//                       randomness source; steady_clock timing is exempt.
+//   parallel-rng        a parallel_for body calling RNG methods on a
+//                       generator it did not derive locally (the captured-
+//                       generator bug: results then depend on chunk schedule).
+//   parallel-telemetry  telemetry::count/set_gauge/Span directly inside a
+//                       parallel_for body instead of the local-accumulate-
+//                       then-flush pattern (core/monte_carlo.cpp).
+//   contracts           a public function in src/linalg/ or src/core/ taking
+//                       a Matrix/Vector that never invokes REPRO_CHECK /
+//                       REPRO_CHECK_DIM (src/util/contracts.h).
+//   pragma-once         a header without #pragma once.
+//   banned-include      includes that smuggle in nondeterminism or bloat:
+//                       <ctime>, <time.h>, <sys/time.h>, <random>, plus
+//                       <iostream> in headers (use <iosfwd>).
+//   include-order       unsorted includes within a block, or angle includes
+//                       after quoted ones in the same block.
+//
+// Any finding is suppressible in-source with
+//
+//     // repro-lint: allow(check-a, check-b)  -- same line or line above
+//     // repro-lint: allow-file(check-a)      -- whole file
+//
+// so true exceptions are visible and reviewable at the use site.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace repro_lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string check;
+  std::string message;
+};
+
+struct Options {
+  // Files or directories to scan (directories recurse over .h/.hpp/.cpp/.cc).
+  std::vector<std::string> roots;
+  // Exit code 1 from run_cli when findings remain after suppression.
+  bool error_on_findings = false;
+  // A file whose normalized path contains one of these substrings is subject
+  // to the `contracts` check (implementation files of the public numeric
+  // API).
+  std::vector<std::string> contract_dirs = {"src/linalg/", "src/core/"};
+  // Normalized-path substrings excluded from scanning entirely (the lint
+  // test fixtures are deliberate violations).
+  std::vector<std::string> skip = {"lint_fixtures"};
+};
+
+struct Report {
+  std::vector<Finding> findings;
+  int files_scanned = 0;
+  int suppressed = 0;
+};
+
+// Lints one in-memory source buffer (unit-test entry point).  `path` decides
+// header-only checks and `contracts` applicability.
+Report lint_source(const std::string& path, const std::string& content,
+                   const Options& options);
+
+// Expands options.roots, lints every checked file, and merges the reports
+// (findings sorted by file, then line).
+Report run_lint(const Options& options);
+
+// Full command-line front end (see --help).  Returns the process exit code:
+// 0 clean (or findings without --error-on-findings), 1 findings, 2 usage or
+// I/O error.
+int run_cli(int argc, const char* const* argv);
+
+}  // namespace repro_lint

@@ -1,0 +1,3 @@
+#include "lint.h"
+
+int main(int argc, char** argv) { return repro_lint::run_cli(argc, argv); }

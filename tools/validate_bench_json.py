@@ -49,9 +49,20 @@ def validate(path):
         raise ValueError(f"scale_mode {rec['scale_mode']!r} not in {SCALE_MODES}")
     if not isinstance(rec["metrics"], dict):
         raise ValueError("metrics is not an object")
+    if not rec["metrics"]:
+        raise ValueError("metrics is empty: every bench must report at least "
+                         "one scalar")
     for key in TELEMETRY_KEYS:
         if key not in rec["telemetry"]:
             raise ValueError(f"telemetry missing {key!r}")
+    # An enabled run whose snapshot is empty means the registry was reset or
+    # never flushed — a broken record, not a quiet one.  Older records lack
+    # the flag; fall back to the environment the validator runs under.
+    enabled = rec.get("telemetry_enabled",
+                      os.environ.get("REPRO_TELEMETRY", "1") != "0")
+    if enabled and not any(rec["telemetry"][key] for key in TELEMETRY_KEYS):
+        raise ValueError("telemetry_enabled but the snapshot is empty "
+                         "(no counters, gauges, or spans)")
     return rec
 
 
