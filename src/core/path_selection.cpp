@@ -62,6 +62,29 @@ PathSelectionResult select_representative_paths(
       best = std::move(next);
       --r;
     }
+  } else if (options.strategy == SelectionStrategy::kGreedySweep) {
+    // Nested greedy route: every candidate r is a prefix of one fixed
+    // pivoted-Cholesky order, so a single sweep prices all of them at the
+    // cost of evaluating just the largest one the per-candidate way.
+    const std::vector<int>& order = selector.greedy_order(gram);
+    const std::size_t effective = std::min(rank, order.size());
+    const SelectionErrorSweep sweep =
+        selection_error_sweep(gram, order, t_cons, options.kappa, effective);
+    // Smallest prefix in [min_r, effective] within tolerance, scanning from
+    // the near-exact full-rank prefix downward (Algorithm 1's decrement,
+    // with every probe already priced).  sweep.eps_r[r - 2] is the error of
+    // the (r-1)-prefix.
+    std::size_t r = effective;
+    while (r > min_r && sweep.eps_r[r - 2] <= options.epsilon) --r;
+    best.rep.assign(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(r));
+    // Re-price the chosen prefix through the panel evaluator so the result
+    // carries the full per-path error vectors like the other drivers.
+    best.errors =
+        selection_errors_from_gram(gram, best.rep, t_cons, options.kappa);
+    have_best = true;
+    out.candidates_evaluated = sweep.steps;
+    util::telemetry::count("core.select.sweep_steps", sweep.steps);
   } else {
     // Bisection on the smallest feasible r in [min_r, rank].  r = rank is
     // feasible by Theorem 1 without evaluation, so the search only ever

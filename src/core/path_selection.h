@@ -4,10 +4,14 @@
 //   2. While eps_r <= eps: r -= 1; select r paths (Algorithm 2); recompute
 //      eps_r.  The answer is the smallest r whose error stays within eps.
 //
-// Two drivers are provided: the paper-verbatim linear decrement, and a
+// Three drivers are provided: the paper-verbatim linear decrement, a
 // bisection driver exploiting that eps_r is (numerically) non-increasing in
-// r, which evaluates O(log rank) candidates instead of O(rank) — the default
-// for large instances.  Both share one SVD and one Gram matrix.
+// r (O(log rank) candidates instead of O(rank) — the default for large
+// instances), and a greedy prefix sweep that swaps Algorithm 2's QRCP
+// selection for the nested pivoted-Cholesky order, which makes every
+// candidate r a prefix of one fixed order and prices ALL of them in a
+// single O(n^2 rank) pass (see selection_error_sweep).  All share one SVD
+// and one Gram matrix.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +26,9 @@ namespace repro::core {
 enum class SelectionStrategy {
   kLinearDecrement,  // paper Algorithm 1, verbatim
   kBisection,        // same result up to error-monotonicity noise, much faster
+  kGreedySweep,      // nested greedy order + one prefix sweep over all r;
+                     // representatives may differ from the QRCP route (it is
+                     // the select_greedy heuristic made end-to-end cheap)
 };
 
 struct PathSelectionOptions {

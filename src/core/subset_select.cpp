@@ -118,6 +118,11 @@ std::vector<int> SubsetSelector::select(std::size_t r) const {
   if (r == 0 || r > rank_ || r > rows_) {
     throw std::invalid_argument("SubsetSelector::select: bad r");
   }
+  // QRCP on U_r^T is not nested across r (the row space truncation changes
+  // with r), but it IS deterministic per r — so bisection probes that
+  // revisit a candidate size hit the memo instead of re-pivoting.
+  const auto hit = select_memo_.find(r);
+  if (hit != select_memo_.end()) return hit->second;
   ensure_captured(r);
   // U_r^T is r x n; column pivoting needs only the first r pivot steps.
   linalg::Matrix urt(r, rows_);
@@ -127,7 +132,7 @@ std::vector<int> SubsetSelector::select(std::size_t r) const {
   const linalg::QrcpResult f = linalg::qr_colpivot(std::move(urt), r);
   std::vector<int> rows(f.perm.begin(),
                         f.perm.begin() + static_cast<std::ptrdiff_t>(r));
-  return rows;
+  return select_memo_.emplace(r, std::move(rows)).first->second;
 }
 
 std::vector<int> SubsetSelector::select_greedy(std::size_t r) const {
@@ -138,12 +143,26 @@ std::vector<int> SubsetSelector::select_greedy(std::size_t r) const {
   if (r == 0 || r > rank_ || r > rows_) {
     throw std::invalid_argument("SubsetSelector::select_greedy: bad r");
   }
+  const std::vector<int>& order = greedy_order(gram_);
+  return {order.begin(), order.begin() + static_cast<std::ptrdiff_t>(r)};
+}
+
+const std::vector<int>& SubsetSelector::greedy_order(
+    const linalg::Matrix& gram) const {
+  REPRO_CHECK_DIM(gram.rows(), gram.cols(),
+                  "SubsetSelector::greedy_order: square Gram");
   if (greedy_order_.empty()) {
+    // The Gram-route constructor retains its own copy; SVD-route selectors
+    // factor the caller-supplied Gram (same W = A A^T, supplied externally).
+    const linalg::Matrix& w = have_gram_ ? gram_ : gram;
+    if (w.rows() != rows_ || w.cols() != rows_) {
+      throw std::invalid_argument(
+          "SubsetSelector::greedy_order: Gram order vs path count");
+    }
     const double tol = gram_rank_rel_tol(rows_, cols_);
-    greedy_order_ = linalg::pivoted_cholesky(gram_, tol * tol).perm;
+    greedy_order_ = linalg::pivoted_cholesky(w, tol * tol).perm;
   }
-  return {greedy_order_.begin(),
-          greedy_order_.begin() + static_cast<std::ptrdiff_t>(r)};
+  return greedy_order_;
 }
 
 }  // namespace repro::core

@@ -14,6 +14,8 @@
 // actually requested — never an O(n^3) dense eigendecomposition.
 #pragma once
 
+#include <cstddef>
+#include <map>
 #include <vector>
 
 #include "linalg/matrix.h"
@@ -45,6 +47,9 @@ class SubsetSelector {
 
   // Representative row indices for a given r (1 <= r <= rank()).  The
   // returned order is the pivot order (most informative row first).
+  // Results are memoized per r: Algorithm 1's bisection probes the same
+  // candidate sizes repeatedly, and the QRCP on U_r^T is not nested across
+  // r, so each distinct r pays for exactly one factorization.
   std::vector<int> select(std::size_t r) const;
 
   // Alternative heuristic: greedy residual-variance selection = the pivot
@@ -53,6 +58,14 @@ class SubsetSelector {
   // Algorithm 2).  One factorization serves every r; the ablation bench
   // compares the two.  Requires the Gram-route constructor.
   std::vector<int> select_greedy(std::size_t r) const;
+
+  // Full greedy pivot order (pivoted Cholesky of W = A A^T), computed once
+  // and cached.  On the Gram route the retained Gram is used; otherwise the
+  // caller-supplied `gram` backs the factorization — this is what lets the
+  // prefix-sweep evaluator run on SVD-route selectors too.  Only the first
+  // rank() entries are meaningful pivots; the tail lists the never-chosen
+  // indices.
+  const std::vector<int>& greedy_order(const linalg::Matrix& gram) const;
 
  private:
   void ensure_captured(std::size_t k) const;
@@ -65,6 +78,8 @@ class SubsetSelector {
   bool lazy_ = false;
   bool have_gram_ = false;
   mutable std::vector<int> greedy_order_;  // pivoted-Cholesky order, lazy
+  // Memoized select(r) results (selector is logically const; probes repeat).
+  mutable std::map<std::size_t, std::vector<int>> select_memo_;
 };
 
 // Picks the cheaper factorization automatically: the Gram route for wide A

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "util/contracts.h"
 #include "util/telemetry.h"
@@ -17,6 +19,15 @@ namespace {
 void count_gemm(std::size_t flops) {
   util::telemetry::count("linalg.gemm.calls");
   util::telemetry::count("linalg.gemm.flops", flops);
+}
+
+// Counter trio for the SYRK-style symmetric kernels: the flops actually
+// spent on the computed triangle (k * n * (n+1): n(n+1)/2 dots of 2k flops)
+// and the flops the symmetry saved versus the 2*k*n^2 full-GEMM route.
+void count_syrk(std::size_t k, std::size_t n) {
+  util::telemetry::count("linalg.syrk.calls");
+  util::telemetry::count("linalg.syrk.flops", k * n * (n + 1));
+  util::telemetry::count("linalg.syrk.flops_saved", k * n * (n - 1));
 }
 
 // Runs fn(begin, end) over [0, total) through the shared thread pool.  Every
@@ -52,7 +63,7 @@ Matrix multiply(const Matrix& a, const Matrix& b) {
   Matrix c(m, n);
   parallel_rows(m, k * n, [&](std::size_t rb, std::size_t re) {
     for (std::size_t i = rb; i < re; ++i) {
-      double* ci = &c(i, 0);
+      double* ci = c.row(i).data();
       for (std::size_t p = 0; p < k; ++p) {
         const double aip = a(i, p);
         if (aip == 0.0) continue;  // sensitivity matrices are fairly sparse
@@ -99,7 +110,7 @@ Matrix multiply_at(const Matrix& a, const Matrix& b) {
   parallel_rows(m, k * n / std::max<std::size_t>(m, 1) + n,
                 [&](std::size_t rb, std::size_t re) {
                   for (std::size_t i = rb; i < re; ++i) {
-                    double* ci = &c(i, 0);
+                    double* ci = c.row(i).data();
                     for (std::size_t p = 0; p < k; ++p) {
                       const double api = a(p, i);
                       if (api == 0.0) continue;
@@ -114,18 +125,46 @@ Matrix multiply_at(const Matrix& a, const Matrix& b) {
 // A A^T exists for every shape; no dimension precondition to state.
 // repro-lint: allow(contracts)
 Matrix gram(const Matrix& a) {
-  const std::size_t n = a.rows();
-  count_gemm(a.cols() * n * (n + 1));
+  const std::size_t n = a.rows(), k = a.cols();
+  count_syrk(k, n);
   Matrix c(n, n);
-  parallel_rows(n, a.cols() * n / 2, [&](std::size_t rb, std::size_t re) {
-    for (std::size_t i = rb; i < re; ++i) {
-      for (std::size_t j = i; j < a.rows(); ++j) {
-        c(i, j) = dot(a.row(i), a.row(j));
+  // SYRK: compute only the lower triangle as independent kTile x kTile tile
+  // pairs, then mirror.  Each cell is one dot(a.row(i), a.row(j)) — dot is
+  // argument-symmetric bit-for-bit, so the mirrored matrix matches the full
+  // product exactly — and is written by exactly one tile pair, so the result
+  // does not depend on the thread count.  The flattened pair list load-
+  // balances the triangle instead of handing one chunk the long first rows.
+  constexpr std::size_t kTile = 64;
+  const std::size_t ntiles = (n + kTile - 1) / kTile;
+  const std::size_t npairs = ntiles * (ntiles + 1) / 2;
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(npairs);
+  for (std::size_t ti = 0; ti < ntiles; ++ti) {
+    for (std::size_t tj = 0; tj <= ti; ++tj) pairs.emplace_back(ti, tj);
+  }
+  const auto run_pairs = [&](std::size_t pb, std::size_t pe) {
+    for (std::size_t p = pb; p < pe; ++p) {
+      const std::size_t ib = pairs[p].first * kTile;
+      const std::size_t ie = std::min(n, ib + kTile);
+      const std::size_t jb = pairs[p].second * kTile;
+      const std::size_t je = std::min(n, jb + kTile);
+      for (std::size_t i = ib; i < ie; ++i) {
+        const std::size_t jhi = std::min(je, i + 1);
+        for (std::size_t j = jb; j < jhi; ++j) {
+          c(i, j) = dot(a.row(i), a.row(j));
+        }
       }
     }
-  });
+  };
+  const std::size_t nt = util::thread_count();
+  if (nt <= 1 || npairs <= 1 || k * n * n <= 8'000'000) {
+    run_pairs(0, npairs);
+  } else {
+    const std::size_t grain = std::max<std::size_t>(1, npairs / (8 * nt));
+    util::parallel_for(0, npairs, grain, run_pairs);
+  }
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < i; ++j) c(i, j) = c(j, i);
+    for (std::size_t j = i + 1; j < n; ++j) c(i, j) = c(j, i);
   }
   return c;
 }
@@ -133,14 +172,14 @@ Matrix gram(const Matrix& a) {
 // repro-lint: allow(contracts) -- A^T A exists for every shape
 Matrix gram_t(const Matrix& a) {
   const std::size_t n = a.cols(), k = a.rows();
-  count_gemm(k * n * (n + 1));
+  count_syrk(k, n);
   Matrix c(n, n);
   // C += a_p^T a_p accumulated row-wise; parallelize over output rows using
   // the multiply_at access pattern restricted to the upper triangle.
   parallel_rows(n, k * n / 2 / std::max<std::size_t>(n, 1) + n,
                 [&](std::size_t rb, std::size_t re) {
                   for (std::size_t i = rb; i < re; ++i) {
-                    double* ci = &c(i, 0);
+                    double* ci = c.row(i).data();
                     for (std::size_t p = 0; p < k; ++p) {
                       const double api = a(p, i);
                       if (api == 0.0) continue;

@@ -99,7 +99,8 @@ Matrix Matrix::select_rows(std::span<const int> rows) const {
   for (std::size_t k = 0; k < rows.size(); ++k) {
     const auto i = static_cast<std::size_t>(rows[k]);
     if (i >= rows_) throw std::out_of_range("select_rows: bad index");
-    std::copy_n(&data_[i * cols_], cols_, &out.data_[k * cols_]);
+    std::copy_n(data_.data() + i * cols_, cols_,
+                out.data_.data() + k * cols_);
   }
   return out;
 }
@@ -124,21 +125,23 @@ Matrix Matrix::top_rows(std::size_t r) const {
 Matrix Matrix::left_cols(std::size_t c) const {
   if (c > cols_) throw std::out_of_range("left_cols");
   Matrix out(rows_, c);
+  // Pointer arithmetic: c == 0 (or cols_ == 0) must not index an empty
+  // backing vector.
   for (std::size_t i = 0; i < rows_; ++i) {
-    std::copy_n(&data_[i * cols_], c, &out.data_[i * c]);
+    std::copy_n(data_.data() + i * cols_, c, out.data_.data() + i * c);
   }
   return out;
 }
 
 void Matrix::set_row(std::size_t i, std::span<const double> values) {
   if (values.size() != cols_) throw std::invalid_argument("set_row size");
-  std::copy(values.begin(), values.end(), &data_[i * cols_]);
+  std::copy(values.begin(), values.end(), data_.data() + i * cols_);
 }
 
 void Matrix::swap_rows(std::size_t i, std::size_t j) {
   if (i == j) return;
-  std::swap_ranges(&data_[i * cols_], &data_[i * cols_] + cols_,
-                   &data_[j * cols_]);
+  std::swap_ranges(data_.data() + i * cols_, data_.data() + (i + 1) * cols_,
+                   data_.data() + j * cols_);
 }
 
 void Matrix::swap_cols(std::size_t i, std::size_t j) {

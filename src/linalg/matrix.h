@@ -47,9 +47,13 @@ class Matrix {
     return data_[i * cols_ + j];
   }
 
-  std::span<double> row(std::size_t i) { return {&data_[i * cols_], cols_}; }
+  // Pointer arithmetic (not &data_[...]) so a zero-column matrix yields a
+  // valid empty span instead of binding a reference into an empty vector.
+  std::span<double> row(std::size_t i) {
+    return {data_.data() + i * cols_, cols_};
+  }
   std::span<const double> row(std::size_t i) const {
-    return {&data_[i * cols_], cols_};
+    return {data_.data() + i * cols_, cols_};
   }
   std::span<double> data() { return data_; }
   std::span<const double> data() const { return data_; }

@@ -6,12 +6,14 @@
 #include <numeric>
 
 #include "util/contracts.h"
+#include "util/telemetry.h"
 
 namespace repro::linalg {
 
 QrcpResult qr_colpivot(Matrix a, std::size_t max_steps) {
   REPRO_CHECK(!a.empty() || max_steps == 0,
               "qr_colpivot: empty input admits no pivot steps");
+  util::telemetry::count("linalg.qr_colpivot.calls");
   const std::size_t m = a.rows(), n = a.cols();
   const std::size_t kmax0 = std::min(m, n);
   const std::size_t kmax =

@@ -1,0 +1,72 @@
+#include "linalg/trsm.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/contracts.h"
+#include "util/telemetry.h"
+#include "util/thread_pool.h"
+
+namespace repro::linalg {
+namespace {
+
+// Forward substitution on the RHS column slab [cb, ce).  Row j of L is
+// applied to the whole slab before row j+1 is touched; each column's
+// floating-point sequence (including the final division, never a reciprocal
+// multiply) is independent of the slab boundaries, so chunking cannot
+// change a single bit of the result.
+void solve_slab(const Matrix& l, Matrix& b, std::size_t cb, std::size_t ce) {
+  const std::size_t r = l.rows();
+  const std::size_t w = ce - cb;
+  for (std::size_t j = 0; j < r; ++j) {
+    double* bj = &b(j, cb);
+    const double* lj = l.row(j).data();
+    for (std::size_t k = 0; k < j; ++k) {
+      const double ljk = lj[k];
+      const double* bk = &b(k, cb);
+      for (std::size_t c = 0; c < w; ++c) bj[c] -= ljk * bk[c];
+    }
+    const double ljj = lj[j];
+    for (std::size_t c = 0; c < w; ++c) bj[c] /= ljj;
+  }
+}
+
+}  // namespace
+
+void trsm_lower_inplace(const Matrix& l, Matrix& b) {
+  REPRO_CHECK_DIM(l.rows(), l.cols(), "trsm_lower_inplace: square factor");
+  REPRO_CHECK_DIM(b.rows(), l.rows(), "trsm_lower_inplace: rhs rows");
+  if (l.rows() != l.cols()) {
+    throw std::invalid_argument("trsm_lower_inplace: factor " +
+                                l.shape_string() + " not square");
+  }
+  if (b.rows() != l.rows()) {
+    throw std::invalid_argument("trsm_lower_inplace: rhs " + b.shape_string() +
+                                " vs factor " + l.shape_string());
+  }
+  const std::size_t r = l.rows(), n = b.cols();
+  if (r == 0 || n == 0) return;
+  for (std::size_t j = 0; j < r; ++j) {
+    if (l(j, j) == 0.0) {
+      throw std::invalid_argument("trsm_lower_inplace: zero diagonal pivot");
+    }
+  }
+  util::telemetry::count("linalg.trsm.calls");
+  util::telemetry::count("linalg.trsm.flops", n * r * r);
+  const util::telemetry::Span span("linalg.trsm");
+
+  const std::size_t nt = util::thread_count();
+  if (nt <= 1 || n * r * r <= 2'000'000 || n <= 1) {
+    solve_slab(l, b, 0, n);
+    return;
+  }
+  // Wide-enough slabs amortize streaming L once per slab; ~4 slabs per
+  // thread keeps the pool load-balanced without per-column overhead.
+  const std::size_t grain =
+      std::max<std::size_t>(32, n / std::max<std::size_t>(1, 4 * nt));
+  util::parallel_for(0, n, grain, [&](std::size_t cb, std::size_t ce) {
+    solve_slab(l, b, cb, ce);
+  });
+}
+
+}  // namespace repro::linalg

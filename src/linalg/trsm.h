@@ -1,0 +1,27 @@
+// Blocked multi-RHS triangular solve (BLAS trsm, restricted to the one
+// shape the selection engine needs: L X = B with L lower-triangular).
+//
+// Algorithm 1 prices a candidate selection by solving S y = w_i for every
+// remaining path i (hundreds to thousands of right-hand sides against one
+// Cholesky factor).  Solving them one vector at a time touches L once per
+// path; solving them as a panel streams each row of L across a contiguous
+// block of right-hand sides, which vectorizes and parallelizes over RHS
+// blocks.  Every column is an independent forward substitution running the
+// same recurrence as chol_forward, and a column's arithmetic never depends
+// on which slab it landed in — the result is bit-identical for any thread
+// count.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace repro::linalg {
+
+// Solves L X = B in place: `l` is an r x r lower-triangular factor (its
+// strict upper triangle is ignored), `b` is r x n holding the n right-hand
+// sides as columns and is overwritten with X = L^{-1} B.  RHS blocks are
+// distributed over the shared thread pool; results do not depend on the
+// thread count.  Throws std::invalid_argument on shape mismatch or a zero
+// diagonal pivot.
+void trsm_lower_inplace(const Matrix& l, Matrix& b);
+
+}  // namespace repro::linalg

@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <numeric>
+
 #include "core/predictor.h"
+#include "linalg/cholesky.h"
 #include "linalg/gemm.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace repro::core {
 namespace {
@@ -17,6 +22,61 @@ linalg::Matrix random_matrix(std::size_t r, std::size_t c,
     for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.normal();
   }
   return m;
+}
+
+// Pre-rewrite per-path reference: gather w_i, one forward solve per
+// remaining path.  The batched panel evaluator must reproduce it.
+SelectionErrors reference_selection_errors(const linalg::Matrix& gram,
+                                           const std::vector<int>& rep,
+                                           double t_cons, double kappa) {
+  const std::size_t n = gram.rows();
+  SelectionErrors out;
+  std::vector<char> is_rep(n, 0);
+  for (int i : rep) is_rep[static_cast<std::size_t>(i)] = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_rep[i]) out.remaining.push_back(static_cast<int>(i));
+  }
+  const std::size_t r = rep.size();
+  linalg::Matrix s(r, r);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < r; ++j) {
+      s(i, j) = gram(static_cast<std::size_t>(rep[i]),
+                     static_cast<std::size_t>(rep[j]));
+    }
+  }
+  const linalg::RegularizedChol rc = linalg::chol_factor_regularized(s);
+  out.sigma.resize(out.remaining.size());
+  out.per_path_eps.resize(out.remaining.size());
+  for (std::size_t k = 0; k < out.remaining.size(); ++k) {
+    const auto i = static_cast<std::size_t>(out.remaining[k]);
+    linalg::Vector w(r);
+    for (std::size_t j = 0; j < r; ++j) {
+      w[j] = gram(i, static_cast<std::size_t>(rep[j]));
+    }
+    const linalg::Vector y = linalg::chol_forward(rc.factors, w);
+    double var = gram(i, i);
+    for (double v : y) var -= v * v;
+    var = std::max(var, 0.0);
+    out.sigma[k] = std::sqrt(var);
+    const double wc = kappa * out.sigma[k];
+    out.per_path_eps[k] = wc / t_cons;
+    out.max_wc = std::max(out.max_wc, wc);
+  }
+  out.eps_r = out.max_wc / t_cons;
+  return out;
+}
+
+void expect_matches_reference(const linalg::Matrix& w,
+                              const std::vector<int>& rep) {
+  const SelectionErrors got = selection_errors_from_gram(w, rep, 750.0, 3.0);
+  const SelectionErrors ref = reference_selection_errors(w, rep, 750.0, 3.0);
+  ASSERT_EQ(got.remaining, ref.remaining) << "r = " << rep.size();
+  for (std::size_t k = 0; k < ref.sigma.size(); ++k) {
+    EXPECT_NEAR(got.sigma[k], ref.sigma[k], 1e-10 * (1.0 + ref.sigma[k]))
+        << "r = " << rep.size() << ", path slot " << k;
+  }
+  EXPECT_NEAR(got.max_wc, ref.max_wc, 1e-10 * (1.0 + ref.max_wc));
+  EXPECT_NEAR(got.eps_r, ref.eps_r, 1e-10 * (1.0 + ref.eps_r));
 }
 
 TEST(ErrorModel, GramIdentityMatchesPredictorSigmas) {
@@ -110,6 +170,132 @@ TEST(ErrorModel, RemainingExcludesSelection) {
   const linalg::Matrix a = random_matrix(6, 6, 9);
   const SelectionErrors se = selection_errors(a, {1, 3}, 100.0, 3.0);
   EXPECT_EQ(se.remaining, (std::vector<int>{0, 2, 4, 5}));
+}
+
+TEST(ErrorModel, BatchedMatchesReferenceForEveryR) {
+  // Full-rank random Gram: the panel evaluator must track the per-path
+  // reference to 1e-10 relative for every selection size.
+  const linalg::Matrix w = linalg::gram(random_matrix(40, 48, 11));
+  const linalg::PivotedChol pc = linalg::pivoted_cholesky(w);
+  for (std::size_t r = 1; r <= pc.rank; ++r) {
+    expect_matches_reference(
+        w, std::vector<int>(pc.perm.begin(),
+                            pc.perm.begin() + static_cast<std::ptrdiff_t>(r)));
+  }
+}
+
+TEST(ErrorModel, BatchedMatchesReferenceOnRankDeficientGram) {
+  // rank(A) == 4 but selections up to size 7: S = W[rep, rep] goes exactly
+  // singular and both paths must agree through the same jitter fallback.
+  const linalg::Matrix a =
+      linalg::multiply(random_matrix(26, 4, 12), random_matrix(4, 20, 13));
+  const linalg::Matrix w = linalg::gram(a);
+  for (std::size_t r = 1; r <= 7; ++r) {
+    std::vector<int> rep(r);
+    std::iota(rep.begin(), rep.end(), 0);
+    expect_matches_reference(w, rep);
+  }
+}
+
+TEST(ErrorModel, BatchedBitIdenticalAcrossThreadCounts) {
+  // n > 512 so the chunked reduction actually splits.
+  const linalg::Matrix w = linalg::gram(random_matrix(700, 60, 14));
+  std::vector<int> rep(24);
+  std::iota(rep.begin(), rep.end(), 0);
+  const std::size_t saved_threads = util::thread_count();
+  util::set_threads(1);
+  const SelectionErrors e1 = selection_errors_from_gram(w, rep, 900.0, 3.0);
+  util::set_threads(4);
+  const SelectionErrors e4 = selection_errors_from_gram(w, rep, 900.0, 3.0);
+  util::set_threads(saved_threads);
+  ASSERT_EQ(e1.sigma.size(), e4.sigma.size());
+  for (std::size_t k = 0; k < e1.sigma.size(); ++k) {
+    EXPECT_EQ(e1.sigma[k], e4.sigma[k]);
+    EXPECT_EQ(e1.per_path_eps[k], e4.per_path_eps[k]);
+  }
+  EXPECT_EQ(e1.max_wc, e4.max_wc);
+  EXPECT_EQ(e1.eps_r, e4.eps_r);
+}
+
+TEST(ErrorModel, SweepMatchesPerCandidateForEveryPrefix) {
+  const linalg::Matrix w = linalg::gram(random_matrix(36, 44, 15));
+  const linalg::PivotedChol pc = linalg::pivoted_cholesky(w);
+  const std::vector<int> order(
+      pc.perm.begin(), pc.perm.begin() + static_cast<std::ptrdiff_t>(pc.rank));
+  const SelectionErrorSweep sweep =
+      selection_error_sweep(w, order, 750.0, 3.0);
+  ASSERT_EQ(sweep.steps, pc.rank);
+  for (std::size_t r = 1; r <= pc.rank; ++r) {
+    const std::vector<int> rep(
+        order.begin(), order.begin() + static_cast<std::ptrdiff_t>(r));
+    const SelectionErrors ref = selection_errors_from_gram(w, rep, 750.0, 3.0);
+    EXPECT_NEAR(sweep.eps_r[r - 1], ref.eps_r, 1e-10 * (1.0 + ref.eps_r))
+        << "prefix r = " << r;
+    EXPECT_NEAR(sweep.max_wc[r - 1], ref.max_wc, 1e-10 * (1.0 + ref.max_wc));
+  }
+}
+
+TEST(ErrorModel, SweepHandlesRankDeficientOrder) {
+  // Sweeping past the numerical rank must neither throw nor produce junk:
+  // redundant pivots add no elimination column, so the error curve stays
+  // finite and (numerically) non-increasing.
+  const linalg::Matrix a =
+      linalg::multiply(random_matrix(24, 5, 16), random_matrix(5, 18, 17));
+  const linalg::Matrix w = linalg::gram(a);
+  std::vector<int> order(24);
+  std::iota(order.begin(), order.end(), 0);
+  const SelectionErrorSweep sweep = selection_error_sweep(w, order, 500.0, 3.0);
+  ASSERT_EQ(sweep.steps, 24u);
+  double prev = 1e300;
+  for (std::size_t k = 0; k < sweep.steps; ++k) {
+    EXPECT_TRUE(std::isfinite(sweep.eps_r[k]));
+    EXPECT_LE(sweep.eps_r[k], prev + 1e-9);
+    prev = sweep.eps_r[k];
+  }
+  // Beyond rank the remaining residual variance is numerically zero.
+  EXPECT_NEAR(sweep.eps_r[sweep.steps - 1], 0.0, 1e-6);
+}
+
+TEST(ErrorModel, SweepBitIdenticalAcrossThreadCounts) {
+  // n * k must clear the sweep's serial threshold for later steps so the
+  // pool genuinely splits the column updates.
+  const linalg::Matrix w = linalg::gram(random_matrix(620, 200, 18));
+  std::vector<int> order(150);
+  std::iota(order.begin(), order.end(), 0);
+  const std::size_t saved_threads = util::thread_count();
+  util::set_threads(1);
+  const SelectionErrorSweep s1 = selection_error_sweep(w, order, 800.0, 3.0);
+  util::set_threads(4);
+  const SelectionErrorSweep s4 = selection_error_sweep(w, order, 800.0, 3.0);
+  util::set_threads(saved_threads);
+  ASSERT_EQ(s1.steps, s4.steps);
+  for (std::size_t k = 0; k < s1.steps; ++k) {
+    EXPECT_EQ(s1.eps_r[k], s4.eps_r[k]) << "step " << k;
+    EXPECT_EQ(s1.max_wc[k], s4.max_wc[k]);
+  }
+}
+
+TEST(ErrorModel, SweepTruncatesAtMaxR) {
+  const linalg::Matrix w = linalg::gram(random_matrix(20, 24, 19));
+  std::vector<int> order(12);
+  std::iota(order.begin(), order.end(), 0);
+  const SelectionErrorSweep sweep =
+      selection_error_sweep(w, order, 500.0, 3.0, 5);
+  EXPECT_EQ(sweep.steps, 5u);
+  EXPECT_EQ(sweep.eps_r.size(), 5u);
+}
+
+TEST(ErrorModel, SweepInvalidInputsThrow) {
+  const linalg::Matrix w = linalg::gram(random_matrix(8, 10, 20));
+  EXPECT_THROW((void)selection_error_sweep(w, {0, 1}, 0.0, 3.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)selection_error_sweep(w, {0, 9}, 100.0, 3.0),
+               std::out_of_range);
+  EXPECT_THROW((void)selection_error_sweep(w, {3, 3}, 100.0, 3.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)selection_error_sweep(linalg::Matrix(3, 4), {0}, 100.0, 3.0),
+      std::invalid_argument);
 }
 
 }  // namespace

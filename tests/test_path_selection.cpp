@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "linalg/gemm.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace repro::core {
 namespace {
@@ -168,6 +171,106 @@ TEST(PathSelection, PrecomputedGramMatchesInternal) {
   const auto r2 = select_representative_paths(a, 1000.0, opt, &w);
   EXPECT_EQ(r1.representatives, r2.representatives);
   EXPECT_DOUBLE_EQ(r1.eps_r, r2.eps_r);
+}
+
+TEST(PathSelection, PinnedGoldenSelection) {
+  // Golden values captured before the batched-evaluator rewrite (panel
+  // solve + memoized QRCP): both strategies must keep returning exactly
+  // these representatives.  eps_r is compared with a relative tolerance
+  // because compiler FP contraction may differ between the old per-vector
+  // and new panel loops.
+  const linalg::Matrix a = correlated_rows(48, 32, 5, 0.05, 20260805);
+  const std::vector<int> golden_reps{22, 21, 24, 15, 36};
+  const double golden_eps = 0.0007123722604426288;
+  for (const SelectionStrategy strategy :
+       {SelectionStrategy::kLinearDecrement, SelectionStrategy::kBisection}) {
+    PathSelectionOptions opt;
+    opt.epsilon = 2e-3;
+    opt.strategy = strategy;
+    const auto r = select_representative_paths(a, 2000.0, opt);
+    EXPECT_EQ(r.representatives, golden_reps);
+    EXPECT_NEAR(r.eps_r, golden_eps, 1e-9 * golden_eps);
+  }
+}
+
+TEST(PathSelection, GreedySweepMatchesManualDecrement) {
+  // The sweep driver must pick exactly the prefix a per-candidate linear
+  // decrement over the same greedy order would pick, with the same errors.
+  const linalg::Matrix a = correlated_rows(56, 60, 5, 0.05, 21);  // gram route
+  const linalg::Matrix w = linalg::gram(a);
+  const SubsetSelector selector(a, w);
+  PathSelectionOptions opt;
+  opt.epsilon = 0.04;
+  opt.strategy = SelectionStrategy::kGreedySweep;
+  const auto got = select_representative_paths(selector, w, 2000.0, opt);
+
+  const std::vector<int>& order = selector.greedy_order(w);
+  std::size_t r = selector.rank();
+  while (r > 1) {
+    std::vector<int> rep(order.begin(),
+                         order.begin() + static_cast<std::ptrdiff_t>(r - 1));
+    if (selection_errors_from_gram(w, rep, 2000.0, opt.kappa).eps_r >
+        opt.epsilon) {
+      break;
+    }
+    --r;
+  }
+  const std::vector<int> want(order.begin(),
+                              order.begin() + static_cast<std::ptrdiff_t>(r));
+  EXPECT_EQ(got.representatives, want);
+  EXPECT_DOUBLE_EQ(
+      got.eps_r, selection_errors_from_gram(w, want, 2000.0, opt.kappa).eps_r);
+  EXPECT_LE(got.eps_r, opt.epsilon);
+  // One sweep prices every candidate in [1, rank].
+  EXPECT_EQ(got.candidates_evaluated, selector.rank());
+}
+
+TEST(PathSelection, GreedySweepRespectsEpsilonAndMinR) {
+  const linalg::Matrix a = correlated_rows(50, 40, 4, 0.05, 22);
+  PathSelectionOptions opt;
+  opt.strategy = SelectionStrategy::kGreedySweep;
+  opt.epsilon = 0.05;
+  const auto r = select_representative_paths(a, 2000.0, opt);
+  EXPECT_LE(r.eps_r, opt.epsilon);
+  EXPECT_GE(r.representatives.size(), 1u);
+
+  opt.epsilon = 1e6;
+  opt.min_r = 6;
+  const auto rmin = select_representative_paths(a, 2000.0, opt);
+  EXPECT_EQ(rmin.representatives.size(), 6u);
+}
+
+TEST(PathSelection, GreedySweepWorksOnTallMatrix) {
+  // cols < rows routes the selector through the direct SVD (no retained
+  // Gram); the sweep driver must still work via the externally-supplied
+  // Gram matrix.
+  const linalg::Matrix a = correlated_rows(30, 18, 4, 0.05, 23);
+  PathSelectionOptions opt;
+  opt.strategy = SelectionStrategy::kGreedySweep;
+  opt.epsilon = 0.05;
+  const auto r = select_representative_paths(a, 2000.0, opt);
+  EXPECT_LE(r.eps_r, opt.epsilon);
+  EXPECT_GE(r.representatives.size(), 1u);
+  EXPECT_LE(r.representatives.size(), r.exact_rank);
+  // Representatives must be distinct row indices.
+  std::vector<int> sorted = r.representatives;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(PathSelection, GreedySweepBitIdenticalAcrossThreadCounts) {
+  const linalg::Matrix a = correlated_rows(64, 48, 5, 0.05, 24);
+  PathSelectionOptions opt;
+  opt.strategy = SelectionStrategy::kGreedySweep;
+  opt.epsilon = 0.04;
+  const std::size_t saved_threads = util::thread_count();
+  util::set_threads(1);
+  const auto r1 = select_representative_paths(a, 2000.0, opt);
+  util::set_threads(4);
+  const auto r4 = select_representative_paths(a, 2000.0, opt);
+  util::set_threads(saved_threads);
+  EXPECT_EQ(r1.representatives, r4.representatives);
+  EXPECT_EQ(r1.eps_r, r4.eps_r);
 }
 
 }  // namespace

@@ -6,12 +6,21 @@
 #include <set>
 
 #include "core/error_model.h"
+#include "linalg/cholesky.h"
 #include "linalg/gemm.h"
 #include "linalg/solve.h"
 #include "util/rng.h"
+#include "util/telemetry.h"
 
 namespace repro::core {
 namespace {
+
+std::uint64_t counter_value(const char* name) {
+  for (const auto& c : util::telemetry::snapshot().counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
 
 linalg::Matrix random_matrix(std::size_t r, std::size_t c,
                              std::uint64_t seed) {
@@ -168,6 +177,55 @@ TEST(SubsetSelect, GreedyErrorComparableToAlg2) {
         selection_errors_from_gram(w, sel.select_greedy(r), 1000.0, 3.0);
     EXPECT_LT(e_greedy.eps_r, 5.0 * e_alg2.eps_r + 1e-6);
   }
+}
+
+TEST(SubsetSelect, SelectMemoizesPerR) {
+  // Bisection probes revisit candidate sizes; repeated select(r) must not
+  // rerun the QR column pivoting (regression for the per-probe waste).
+  const linalg::Matrix a = random_matrix(22, 14, 30);
+  const SubsetSelector sel(a);
+  const bool was_enabled = util::telemetry::enabled();
+  util::telemetry::set_enabled(true);
+  util::telemetry::reset();
+  const auto first = sel.select(6);
+  const std::uint64_t after_first = counter_value("linalg.qr_colpivot.calls");
+  EXPECT_EQ(after_first, 1u);
+  const auto again = sel.select(6);
+  EXPECT_EQ(counter_value("linalg.qr_colpivot.calls"), after_first);
+  EXPECT_EQ(again, first);
+  (void)sel.select(4);  // a new r pays exactly one more factorization
+  EXPECT_EQ(counter_value("linalg.qr_colpivot.calls"), after_first + 1);
+  (void)sel.select(6);  // the old memo entry survives
+  EXPECT_EQ(counter_value("linalg.qr_colpivot.calls"), after_first + 1);
+  util::telemetry::reset();
+  util::telemetry::set_enabled(was_enabled);
+}
+
+TEST(SubsetSelect, GreedyOrderFromExternalGram) {
+  // SVD-route selector (no retained Gram): greedy_order must factor the
+  // caller-supplied Gram and match the pivoted-Cholesky order directly.
+  const linalg::Matrix a = random_matrix(18, 10, 31);
+  const linalg::Matrix w = linalg::gram(a);
+  const SubsetSelector sel(a);  // SVD route
+  const std::vector<int>& order = sel.greedy_order(w);
+  EXPECT_EQ(order.size(), 18u);
+  const linalg::PivotedChol pc = linalg::pivoted_cholesky(w);
+  for (std::size_t k = 0; k < pc.rank; ++k) EXPECT_EQ(order[k], pc.perm[k]);
+  // Cached: the second call returns the same object.
+  EXPECT_EQ(&sel.greedy_order(w), &order);
+  // A mis-sized Gram is rejected.
+  EXPECT_THROW((void)SubsetSelector(a).greedy_order(linalg::Matrix(4, 4)),
+               std::invalid_argument);
+}
+
+TEST(SubsetSelect, GreedyOrderMatchesGramRoute) {
+  // Gram-route selectors answer from their retained copy; both routes must
+  // produce the same order for the same W.
+  const linalg::Matrix a = random_matrix(20, 24, 32);
+  const linalg::Matrix w = linalg::gram(a);
+  const SubsetSelector via_gram(a, w);
+  const SubsetSelector via_svd(a);
+  EXPECT_EQ(via_gram.greedy_order(w), via_svd.greedy_order(w));
 }
 
 TEST(SubsetSelect, ReuseExistingSvd) {

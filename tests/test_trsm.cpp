@@ -1,0 +1,124 @@
+#include "linalg/trsm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/cholesky.h"
+#include "linalg/gemm.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace repro::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.normal();
+  }
+  return m;
+}
+
+// A well-conditioned SPD factor: Cholesky of A A^T + I.
+Matrix spd_factor(std::size_t r, std::uint64_t seed) {
+  Matrix s = gram(random_matrix(r, r + 3, seed));
+  for (std::size_t i = 0; i < r; ++i) s(i, i) += 1.0;
+  const CholFactors f = chol_factor(std::move(s));
+  EXPECT_TRUE(f.ok);
+  return f.l;
+}
+
+TEST(Trsm, MatchesPerVectorForwardSolve) {
+  const Matrix l = spd_factor(7, 1);
+  CholFactors f;
+  f.l = l;
+  f.ok = true;
+  Matrix b = random_matrix(7, 11, 2);
+  const Matrix b0 = b;
+  trsm_lower_inplace(l, b);
+  for (std::size_t c = 0; c < b0.cols(); ++c) {
+    const Vector y = chol_forward(f, b0.column(c));
+    for (std::size_t i = 0; i < b0.rows(); ++i) {
+      // Same substitution recurrence; tight tolerance rather than bit
+      // equality because the compiler may contract the two loops
+      // differently.
+      EXPECT_NEAR(b(i, c), y[i], 1e-13 * (1.0 + std::abs(y[i])));
+    }
+  }
+}
+
+TEST(Trsm, ReconstructsRhs) {
+  const Matrix l = spd_factor(9, 3);
+  Matrix b = random_matrix(9, 20, 4);
+  const Matrix b0 = b;
+  trsm_lower_inplace(l, b);
+  // L X must reproduce B.  Multiply via the lower triangle only.
+  for (std::size_t i = 0; i < b.rows(); ++i) {
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+      double s = 0.0;
+      for (std::size_t k = 0; k <= i; ++k) s += l(i, k) * b(k, c);
+      EXPECT_NEAR(s, b0(i, c), 1e-10 * (1.0 + std::abs(b0(i, c))));
+    }
+  }
+}
+
+TEST(Trsm, IgnoresStrictUpperTriangle) {
+  Matrix l = spd_factor(5, 5);
+  Matrix b = random_matrix(5, 6, 6);
+  Matrix b_ref = b;
+  trsm_lower_inplace(l, b_ref);
+  // Poison the strict upper triangle; the solve must not read it.
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i + 1; j < 5; ++j) l(i, j) = 1e30;
+  }
+  trsm_lower_inplace(l, b);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t c = 0; c < 6; ++c) EXPECT_EQ(b(i, c), b_ref(i, c));
+  }
+}
+
+TEST(Trsm, BitIdenticalAcrossThreadCounts) {
+  // Large enough to clear the serial threshold so the pool actually splits.
+  const Matrix l = spd_factor(160, 7);
+  Matrix b1 = random_matrix(160, 300, 8);
+  Matrix b4 = b1;
+  const std::size_t saved_threads = util::thread_count();
+  util::set_threads(1);
+  trsm_lower_inplace(l, b1);
+  util::set_threads(4);
+  trsm_lower_inplace(l, b4);
+  util::set_threads(saved_threads);
+  for (std::size_t i = 0; i < b1.rows(); ++i) {
+    for (std::size_t c = 0; c < b1.cols(); ++c) {
+      EXPECT_EQ(b1(i, c), b4(i, c)) << "at (" << i << ", " << c << ")";
+    }
+  }
+}
+
+TEST(Trsm, InvalidInputsThrow) {
+  const Matrix l = spd_factor(4, 9);
+  Matrix rect(3, 4);
+  Matrix b(4, 2);
+  EXPECT_THROW(trsm_lower_inplace(rect, b), std::invalid_argument);
+  Matrix b_bad(3, 2);
+  EXPECT_THROW(trsm_lower_inplace(l, b_bad), std::invalid_argument);
+  Matrix zero_diag = l;
+  zero_diag(2, 2) = 0.0;
+  EXPECT_THROW(trsm_lower_inplace(zero_diag, b), std::invalid_argument);
+}
+
+TEST(Trsm, EmptyCasesAreNoOps) {
+  Matrix l0;
+  Matrix b0;
+  trsm_lower_inplace(l0, b0);  // 0 x 0 solve: nothing to do
+  const Matrix l = spd_factor(3, 10);
+  Matrix b(3, 0);
+  trsm_lower_inplace(l, b);  // zero right-hand sides
+  EXPECT_EQ(b.cols(), 0u);
+}
+
+}  // namespace
+}  // namespace repro::linalg

@@ -25,6 +25,12 @@ REQUIRED_KEYS = (
 )
 TELEMETRY_KEYS = ("counters", "gauges", "spans")
 SCALE_MODES = ("fast", "default", "full")
+# Per-bench metrics the perf trajectory depends on: a record missing one of
+# these is a silent hole in the cross-PR history, so fail loudly instead.
+REQUIRED_METRICS = {
+    "selection_sweep": ("speedup_vs_reference", "panel_speedup",
+                        "allocs_per_call", "results_match"),
+}
 
 
 def collect(args):
@@ -52,6 +58,10 @@ def validate(path):
     if not rec["metrics"]:
         raise ValueError("metrics is empty: every bench must report at least "
                          "one scalar")
+    for metric in REQUIRED_METRICS.get(rec["bench"], ()):
+        if metric not in rec["metrics"]:
+            raise ValueError(f"metrics missing {metric!r} "
+                             f"(required for bench {rec['bench']!r})")
     for key in TELEMETRY_KEYS:
         if key not in rec["telemetry"]:
             raise ValueError(f"telemetry missing {key!r}")
