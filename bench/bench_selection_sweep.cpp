@@ -22,6 +22,7 @@
 #include "linalg/cholesky.h"
 #include "linalg/gemm.h"
 #include "linalg/matrix.h"
+#include "linalg/simd/dispatch.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/telemetry.h"
@@ -136,10 +137,21 @@ int main(int argc, char** argv) {
               n, m, k);
 
   const Matrix a = correlated_rows(n, m, k, 0.05, 20260805);
+  util::Stopwatch sw_gram;
   const Matrix gram = [&] {
     const util::telemetry::Span span("bench.gram");
     return linalg::gram(a);
   }();
+  // SYRK throughput under the dispatched tier (the selection path's one big
+  // dense kernel): GFLOP/s and the fraction of the tier's nominal peak.
+  const double gram_seconds = sw_gram.seconds();
+  const double gram_flops = static_cast<double>(m) *
+                            static_cast<double>(n) *
+                            static_cast<double>(n + 1);
+  const double gram_gflops =
+      gram_seconds > 0.0 ? gram_flops / gram_seconds * 1e-9 : 0.0;
+  const double gram_peak = linalg::simd::theoretical_peak_gflops(
+      linalg::simd::active_tier(), util::thread_count());
   const core::SubsetSelector selector = core::make_subset_selector(a, gram);
   const std::size_t rank = selector.rank();
   // Cache the pivot order up front so neither phase is charged for it.
@@ -277,6 +289,11 @@ int main(int argc, char** argv) {
   h.metric("thread_invariant", thread_invariant);
   h.metric("syrk_flops_saved", static_cast<std::size_t>(
                                    counter_value("linalg.syrk.flops_saved")));
+  h.metric("kernel_tier",
+           linalg::simd::tier_name(linalg::simd::active_tier()));
+  h.metric("gram_gflops", gram_gflops);
+  h.metric("gram_peak_fraction",
+           gram_peak > 0.0 ? gram_gflops / gram_peak : 0.0);
 
   // The >= 3x acceptance bar applies at representative sizes (n >= 2000);
   // the FAST smoke only checks correctness.

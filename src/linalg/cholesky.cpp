@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "linalg/simd/kernels.h"
 #include "util/contracts.h"
 #include "util/telemetry.h"
 
@@ -14,10 +15,22 @@ CholFactors chol_factor(Matrix s) {
   if (s.rows() != s.cols()) throw std::invalid_argument("chol: not square");
   const std::size_t n = s.rows();
   CholFactors f;
+  // SIMD tiers compute the length-j row dots through the tier's dot kernel;
+  // the scalar tier keeps the legacy single-accumulator loops verbatim so
+  // REPRO_KERNEL=scalar reproduces the pre-SIMD factor bit for bit.  The
+  // positivity check runs on whichever value the active tier produced, so a
+  // borderline-indefinite matrix may flip ok across tiers — callers already
+  // treat that as the jitter path (see try_chol_factor_regularized).
+  const simd::KernelOps& t = simd::ops();
+  const bool use_simd = t.tier != simd::Tier::kScalar && n >= 32;
   for (std::size_t j = 0; j < n; ++j) {
     double d = s(j, j);
     const double* lj = &s(j, 0);
-    for (std::size_t k = 0; k < j; ++k) d -= lj[k] * lj[k];
+    if (use_simd) {
+      d -= t.dot(j, lj, lj);
+    } else {
+      for (std::size_t k = 0; k < j; ++k) d -= lj[k] * lj[k];
+    }
     if (!(d > 0.0) || !std::isfinite(d)) {
       f.ok = false;
       return f;
@@ -27,7 +40,11 @@ CholFactors chol_factor(Matrix s) {
     for (std::size_t i = j + 1; i < n; ++i) {
       double v = s(i, j);
       const double* li = &s(i, 0);
-      for (std::size_t k = 0; k < j; ++k) v -= li[k] * lj[k];
+      if (use_simd) {
+        v -= t.dot(j, li, lj);
+      } else {
+        for (std::size_t k = 0; k < j; ++k) v -= li[k] * lj[k];
+      }
       s(i, j) = v / ljj;
     }
   }

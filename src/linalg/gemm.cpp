@@ -5,7 +5,10 @@
 #include <utility>
 #include <vector>
 
+#include "linalg/kernel_telemetry.h"
+#include "linalg/simd/kernels.h"
 #include "util/contracts.h"
+#include "util/stopwatch.h"
 #include "util/telemetry.h"
 #include "util/thread_pool.h"
 
@@ -47,6 +50,109 @@ void parallel_rows(std::size_t total, std::size_t flops_per_row, Fn&& fn) {
   util::parallel_for(0, total, grain, fn);
 }
 
+// True when the active SIMD tier should take this GEMM.  Tiny products stay
+// on the legacy loops even under a SIMD tier: packing overhead dominates
+// below ~64k flops (MC chunk solves), and the size test keeps the chosen
+// code path — hence the exact bit pattern — a pure function of the shapes.
+bool use_simd_gemm(std::size_t flops) {
+  return simd::ops().tier != simd::Tier::kScalar && flops > 65'536;
+}
+
+// ---------------------------------------------------------------------------
+// Packed-panel GEMM driver (SIMD tiers): C += A * B with A and B supplied as
+// element accessors so one driver serves A*B, A^T*B, and A*B^T without
+// materializing transposes.  B blocks are packed once into nr-column panels
+// and shared by every row chunk; each chunk packs its own mr-row A panels
+// and calls the tier micro-kernel on full tiles (edge tiles go through a
+// zero-padded local buffer so the kernel never writes outside C).
+//
+// Determinism: the block geometry (kKc/kMc/kNc, mr/nr) is fixed per tier and
+// every C element is written by exactly one row block, so results are
+// bit-identical across thread counts — only across *tiers* do the FMA
+// reassociations differ (DESIGN.md §11).
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kKc = 256;   // k-panel depth (A panel ~192 KiB in L2)
+constexpr std::size_t kMc = 96;    // row block height; multiple of mr 4 and 8
+constexpr std::size_t kNc = 1024;  // column block width (B panel ~2 MiB)
+
+template <typename AGet, typename BGet>
+void gemm_packed(std::size_t m, std::size_t k, std::size_t n,
+                 const AGet& aget, const BGet& bget, Matrix& c) {
+  const simd::KernelOps& t = simd::ops();
+  const std::size_t mr = t.mr, nr = t.nr;
+  const std::size_t ldc = c.cols();
+  std::vector<double> bpack(kKc * kNc);
+  for (std::size_t jc = 0; jc < n; jc += kNc) {
+    const std::size_t nc = std::min(kNc, n - jc);
+    const std::size_t npanels = (nc + nr - 1) / nr;
+    for (std::size_t pc = 0; pc < k; pc += kKc) {
+      const std::size_t kc = std::min(kKc, k - pc);
+      double* bp = bpack.data();
+      for (std::size_t jp = 0; jp < npanels; ++jp) {
+        const std::size_t j0 = jc + jp * nr;
+        const std::size_t jw = std::min(nr, jc + nc - j0);
+        for (std::size_t p = 0; p < kc; ++p) {
+          for (std::size_t j = 0; j < jw; ++j) *bp++ = bget(pc + p, j0 + j);
+          for (std::size_t j = jw; j < nr; ++j) *bp++ = 0.0;
+        }
+      }
+      const std::size_t nblocks = (m + kMc - 1) / kMc;
+      const auto run_blocks = [&](std::size_t bb, std::size_t be) {
+        std::vector<double> apack(kMc * kc);
+        std::vector<double> tmp(mr * nr);
+        for (std::size_t blk = bb; blk < be; ++blk) {
+          const std::size_t i0 = blk * kMc;
+          const std::size_t mc = std::min(kMc, m - i0);
+          const std::size_t mpanels = (mc + mr - 1) / mr;
+          double* ap = apack.data();
+          for (std::size_t ip = 0; ip < mpanels; ++ip) {
+            const std::size_t r0 = i0 + ip * mr;
+            const std::size_t rw = std::min(mr, i0 + mc - r0);
+            for (std::size_t p = 0; p < kc; ++p) {
+              for (std::size_t r = 0; r < rw; ++r) *ap++ = aget(r0 + r, pc + p);
+              for (std::size_t r = rw; r < mr; ++r) *ap++ = 0.0;
+            }
+          }
+          for (std::size_t ip = 0; ip < mpanels; ++ip) {
+            const std::size_t r0 = i0 + ip * mr;
+            const std::size_t rw = std::min(mr, i0 + mc - r0);
+            const double* apanel = apack.data() + ip * mr * kc;
+            for (std::size_t jp = 0; jp < npanels; ++jp) {
+              const std::size_t j0 = jc + jp * nr;
+              const std::size_t jw = std::min(nr, jc + nc - j0);
+              const double* bpanel = bpack.data() + jp * nr * kc;
+              if (rw == mr && jw == nr) {
+                t.gemm_ukr(kc, apanel, bpanel, c.row(r0).data() + j0, ldc);
+              } else {
+                std::fill(tmp.begin(), tmp.end(), 0.0);
+                t.gemm_ukr(kc, apanel, bpanel, tmp.data(), nr);
+                for (std::size_t r = 0; r < rw; ++r) {
+                  for (std::size_t j = 0; j < jw; ++j) {
+                    c(r0 + r, j0 + j) += tmp[r * nr + j];
+                  }
+                }
+              }
+            }
+          }
+        }
+      };
+      const std::size_t nt = util::thread_count();
+      if (nt <= 1 || nblocks <= 1 || 2 * m * kc * nc <= 4'000'000) {
+        run_blocks(0, nblocks);
+      } else {
+        util::parallel_for(0, nblocks, 1, run_blocks);
+      }
+    }
+  }
+}
+
+// Threads the throughput gauge actually spans: the pool count when the
+// problem is big enough to have been distributed, else one.
+std::size_t gemm_threads_used(std::size_t flops) {
+  return flops > 4'000'000 ? util::thread_count() : 1;
+}
+
 }  // namespace
 
 void set_gemm_threads(std::size_t n) { util::set_threads(n); }
@@ -59,19 +165,29 @@ Matrix multiply(const Matrix& a, const Matrix& b) {
                                 b.shape_string());
   }
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  count_gemm(2 * m * k * n);
+  const std::size_t flops = 2 * m * k * n;
+  count_gemm(flops);
+  const util::Stopwatch sw;
   Matrix c(m, n);
-  parallel_rows(m, k * n, [&](std::size_t rb, std::size_t re) {
-    for (std::size_t i = rb; i < re; ++i) {
-      double* ci = c.row(i).data();
-      for (std::size_t p = 0; p < k; ++p) {
-        const double aip = a(i, p);
-        if (aip == 0.0) continue;  // sensitivity matrices are fairly sparse
-        const double* bp = b.row(p).data();
-        for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+  if (use_simd_gemm(flops)) {
+    gemm_packed(
+        m, k, n, [&](std::size_t i, std::size_t p) { return a(i, p); },
+        [&](std::size_t p, std::size_t j) { return b(p, j); }, c);
+  } else {
+    parallel_rows(m, k * n, [&](std::size_t rb, std::size_t re) {
+      for (std::size_t i = rb; i < re; ++i) {
+        double* ci = c.row(i).data();
+        for (std::size_t p = 0; p < k; ++p) {
+          const double aip = a(i, p);
+          if (aip == 0.0) continue;  // sensitivity matrices are fairly sparse
+          const double* bp = b.row(p).data();
+          for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+        }
       }
-    }
-  });
+    });
+  }
+  record_kernel_throughput("gemm", flops, sw.seconds(),
+                           gemm_threads_used(flops));
   return c;
 }
 
@@ -81,16 +197,26 @@ Matrix multiply_bt(const Matrix& a, const Matrix& b) {
     throw std::invalid_argument("multiply_bt: " + a.shape_string() + " * " +
                                 b.shape_string() + "^T");
   }
-  const std::size_t m = a.rows(), n = b.rows();
-  count_gemm(2 * m * a.cols() * n);
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  const std::size_t flops = 2 * m * k * n;
+  count_gemm(flops);
+  const util::Stopwatch sw;
   Matrix c(m, n);
-  parallel_rows(m, a.cols() * n, [&](std::size_t rb, std::size_t re) {
-    for (std::size_t i = rb; i < re; ++i) {
-      for (std::size_t j = 0; j < n; ++j) {
-        c(i, j) = dot(a.row(i), b.row(j));
+  if (use_simd_gemm(flops)) {
+    gemm_packed(
+        m, k, n, [&](std::size_t i, std::size_t p) { return a(i, p); },
+        [&](std::size_t p, std::size_t j) { return b(j, p); }, c);
+  } else {
+    parallel_rows(m, k * n, [&](std::size_t rb, std::size_t re) {
+      for (std::size_t i = rb; i < re; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          c(i, j) = dot(a.row(i), b.row(j));
+        }
       }
-    }
-  });
+    });
+  }
+  record_kernel_throughput("gemm", flops, sw.seconds(),
+                           gemm_threads_used(flops));
   return c;
 }
 
@@ -101,24 +227,39 @@ Matrix multiply_at(const Matrix& a, const Matrix& b) {
                                 b.shape_string());
   }
   const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
-  count_gemm(2 * m * k * n);
-  // Accumulate row blocks of the output; parallelize over output rows by
-  // striping the k-loop contributions into thread-local buffers would cost
-  // memory, so instead parallelize over output rows with a transposed access
-  // of A (strided reads of A are the price; k is the long dimension).
+  const std::size_t flops = 2 * m * k * n;
+  count_gemm(flops);
+  const util::Stopwatch sw;
   Matrix c(m, n);
-  parallel_rows(m, k * n / std::max<std::size_t>(m, 1) + n,
-                [&](std::size_t rb, std::size_t re) {
-                  for (std::size_t i = rb; i < re; ++i) {
-                    double* ci = c.row(i).data();
-                    for (std::size_t p = 0; p < k; ++p) {
-                      const double api = a(p, i);
-                      if (api == 0.0) continue;
-                      const double* bp = b.row(p).data();
-                      for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+  if (use_simd_gemm(flops)) {
+    // Packing absorbs the strided reads of A's columns once per panel
+    // instead of once per inner-loop pass.
+    gemm_packed(
+        m, k, n, [&](std::size_t i, std::size_t p) { return a(p, i); },
+        [&](std::size_t p, std::size_t j) { return b(p, j); }, c);
+  } else {
+    // Accumulate row blocks of the output; parallelize over output rows by
+    // striping the k-loop contributions into thread-local buffers would cost
+    // memory, so instead parallelize over output rows with a transposed
+    // access of A (strided reads of A are the price; k is the long
+    // dimension).
+    parallel_rows(m, k * n / std::max<std::size_t>(m, 1) + n,
+                  [&](std::size_t rb, std::size_t re) {
+                    for (std::size_t i = rb; i < re; ++i) {
+                      double* ci = c.row(i).data();
+                      for (std::size_t p = 0; p < k; ++p) {
+                        const double api = a(p, i);
+                        if (api == 0.0) continue;
+                        const double* bp = b.row(p).data();
+                        for (std::size_t j = 0; j < n; ++j) {
+                          ci[j] += api * bp[j];
+                        }
+                      }
                     }
-                  }
-                });
+                  });
+  }
+  record_kernel_throughput("gemm", flops, sw.seconds(),
+                           gemm_threads_used(flops));
   return c;
 }
 
@@ -127,6 +268,9 @@ Matrix multiply_at(const Matrix& a, const Matrix& b) {
 Matrix gram(const Matrix& a) {
   const std::size_t n = a.rows(), k = a.cols();
   count_syrk(k, n);
+  const util::Stopwatch sw;
+  const simd::KernelOps& t = simd::ops();
+  const bool use_simd = t.tier != simd::Tier::kScalar;
   Matrix c(n, n);
   // SYRK: compute only the lower triangle as independent kTile x kTile tile
   // pairs, then mirror.  Each cell is one dot(a.row(i), a.row(j)) — dot is
@@ -134,6 +278,9 @@ Matrix gram(const Matrix& a) {
   // product exactly — and is written by exactly one tile pair, so the result
   // does not depend on the thread count.  The flattened pair list load-
   // balances the triangle instead of handing one chunk the long first rows.
+  // SIMD tiers run cells in j-quads through the tier's dot4 kernel (one pass
+  // of row i feeds four cells); the quad grouping depends only on the tile
+  // bounds, so it too is thread-count invariant.
   constexpr std::size_t kTile = 64;
   const std::size_t ntiles = (n + kTile - 1) / kTile;
   const std::size_t npairs = ntiles * (ntiles + 1) / 2;
@@ -150,14 +297,26 @@ Matrix gram(const Matrix& a) {
       const std::size_t je = std::min(n, jb + kTile);
       for (std::size_t i = ib; i < ie; ++i) {
         const std::size_t jhi = std::min(je, i + 1);
-        for (std::size_t j = jb; j < jhi; ++j) {
-          c(i, j) = dot(a.row(i), a.row(j));
+        if (use_simd) {
+          const double* xi = a.row(i).data();
+          std::size_t j = jb;
+          for (; j + 4 <= jhi; j += 4) {
+            t.dot4(k, xi, a.row(j).data(), a.row(j + 1).data(),
+                   a.row(j + 2).data(), a.row(j + 3).data(),
+                   c.row(i).data() + j);
+          }
+          for (; j < jhi; ++j) c(i, j) = t.dot(k, xi, a.row(j).data());
+        } else {
+          for (std::size_t j = jb; j < jhi; ++j) {
+            c(i, j) = dot(a.row(i), a.row(j));
+          }
         }
       }
     }
   };
   const std::size_t nt = util::thread_count();
-  if (nt <= 1 || npairs <= 1 || k * n * n <= 8'000'000) {
+  const bool parallel = nt > 1 && npairs > 1 && k * n * n > 8'000'000;
+  if (!parallel) {
     run_pairs(0, npairs);
   } else {
     const std::size_t grain = std::max<std::size_t>(1, npairs / (8 * nt));
@@ -166,6 +325,8 @@ Matrix gram(const Matrix& a) {
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) c(i, j) = c(j, i);
   }
+  record_kernel_throughput("syrk", k * n * (n + 1), sw.seconds(),
+                           parallel ? nt : 1);
   return c;
 }
 
@@ -173,9 +334,13 @@ Matrix gram(const Matrix& a) {
 Matrix gram_t(const Matrix& a) {
   const std::size_t n = a.cols(), k = a.rows();
   count_syrk(k, n);
+  const util::Stopwatch sw;
+  const simd::KernelOps& t = simd::ops();
+  const bool use_simd = t.tier != simd::Tier::kScalar;
   Matrix c(n, n);
   // C += a_p^T a_p accumulated row-wise; parallelize over output rows using
-  // the multiply_at access pattern restricted to the upper triangle.
+  // the multiply_at access pattern restricted to the upper triangle.  SIMD
+  // tiers run the row update through the tier's fused axpy kernel.
   parallel_rows(n, k * n / 2 / std::max<std::size_t>(n, 1) + n,
                 [&](std::size_t rb, std::size_t re) {
                   for (std::size_t i = rb; i < re; ++i) {
@@ -184,13 +349,21 @@ Matrix gram_t(const Matrix& a) {
                       const double api = a(p, i);
                       if (api == 0.0) continue;
                       const double* row = a.row(p).data();
-                      for (std::size_t j = i; j < n; ++j) ci[j] += api * row[j];
+                      if (use_simd) {
+                        t.axpy(n - i, api, row + i, ci + i);
+                      } else {
+                        for (std::size_t j = i; j < n; ++j) {
+                          ci[j] += api * row[j];
+                        }
+                      }
                     }
                   }
                 });
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < i; ++j) c(i, j) = c(j, i);
   }
+  record_kernel_throughput("syrk", k * n * (n + 1), sw.seconds(),
+                           gemm_threads_used(k * n * (n + 1) / 2));
   return c;
 }
 

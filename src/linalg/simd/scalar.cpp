@@ -1,0 +1,67 @@
+// Scalar micro-kernel table: the portable reference implementation of every
+// primitive, and the dispatch fallback when no SIMD tier is available.  The
+// higher-level kernels (gemm/trsm/cholesky) do not call this table on the
+// scalar tier — they run their original loops for bit-exactness — but the
+// table keeps every tier uniformly testable against the same interface.
+#include "linalg/simd/kernels.h"
+
+namespace repro::linalg::simd {
+namespace {
+
+void axpy_scalar(std::size_t n, double alpha, const double* x, double* y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double dot_scalar(std::size_t n, const double* x, const double* y) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+void dot4_scalar(std::size_t n, const double* x, const double* y0,
+                 const double* y1, const double* y2, const double* y3,
+                 double out[4]) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xi = x[i];
+    s0 += xi * y0[i];
+    s1 += xi * y1[i];
+    s2 += xi * y2[i];
+    s3 += xi * y3[i];
+  }
+  out[0] = s0;
+  out[1] = s1;
+  out[2] = s2;
+  out[3] = s3;
+}
+
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 8;
+
+void gemm_ukr_scalar(std::size_t kc, const double* apack, const double* bpack,
+                     double* c, std::size_t ldc) {
+  double acc[kMr][kNr] = {};
+  for (std::size_t k = 0; k < kc; ++k) {
+    for (std::size_t i = 0; i < kMr; ++i) {
+      const double a = apack[k * kMr + i];
+      for (std::size_t j = 0; j < kNr; ++j) {
+        acc[i][j] += a * bpack[k * kNr + j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < kMr; ++i) {
+    for (std::size_t j = 0; j < kNr; ++j) c[i * ldc + j] += acc[i][j];
+  }
+}
+
+constexpr KernelOps kScalarOps = {
+    Tier::kScalar, "scalar", kMr,         kNr,
+    /*flops_per_cycle=*/4.0,  // SSE2 baseline: 2-wide multiply + add
+    axpy_scalar,   dot_scalar, dot4_scalar, gemm_ukr_scalar,
+};
+
+}  // namespace
+
+const KernelOps* scalar_ops() { return &kScalarOps; }
+
+}  // namespace repro::linalg::simd

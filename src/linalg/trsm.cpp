@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "linalg/kernel_telemetry.h"
+#include "linalg/simd/kernels.h"
 #include "util/contracts.h"
+#include "util/stopwatch.h"
 #include "util/telemetry.h"
 #include "util/thread_pool.h"
 
@@ -15,16 +18,28 @@ namespace {
 // floating-point sequence (including the final division, never a reciprocal
 // multiply) is independent of the slab boundaries, so chunking cannot
 // change a single bit of the result.
+//
+// SIMD tiers route the row update through the tier's fused axpy kernel with
+// alpha = -ljk; the scalar tier keeps the legacy mul-then-subtract loop
+// verbatim, so REPRO_KERNEL=scalar stays bit-identical to the pre-SIMD
+// solver (IEEE-754 negation is exact, but FMA fuses the multiply-add, so
+// the SIMD result sits inside the documented tier tolerance instead).
 void solve_slab(const Matrix& l, Matrix& b, std::size_t cb, std::size_t ce) {
   const std::size_t r = l.rows();
   const std::size_t w = ce - cb;
+  const simd::KernelOps& t = simd::ops();
+  const bool use_simd = t.tier != simd::Tier::kScalar && w >= 8;
   for (std::size_t j = 0; j < r; ++j) {
     double* bj = &b(j, cb);
     const double* lj = l.row(j).data();
     for (std::size_t k = 0; k < j; ++k) {
       const double ljk = lj[k];
       const double* bk = &b(k, cb);
-      for (std::size_t c = 0; c < w; ++c) bj[c] -= ljk * bk[c];
+      if (use_simd) {
+        t.axpy(w, -ljk, bk, bj);
+      } else {
+        for (std::size_t c = 0; c < w; ++c) bj[c] -= ljk * bk[c];
+      }
     }
     const double ljj = lj[j];
     for (std::size_t c = 0; c < w; ++c) bj[c] /= ljj;
@@ -54,10 +69,12 @@ void trsm_lower_inplace(const Matrix& l, Matrix& b) {
   util::telemetry::count("linalg.trsm.calls");
   util::telemetry::count("linalg.trsm.flops", n * r * r);
   const util::telemetry::Span span("linalg.trsm");
+  const util::Stopwatch sw;
 
   const std::size_t nt = util::thread_count();
   if (nt <= 1 || n * r * r <= 2'000'000 || n <= 1) {
     solve_slab(l, b, 0, n);
+    record_kernel_throughput("trsm", n * r * r, sw.seconds(), 1);
     return;
   }
   // Wide-enough slabs amortize streaming L once per slab; ~4 slabs per
@@ -67,6 +84,7 @@ void trsm_lower_inplace(const Matrix& l, Matrix& b) {
   util::parallel_for(0, n, grain, [&](std::size_t cb, std::size_t ce) {
     solve_slab(l, b, cb, ce);
   });
+  record_kernel_throughput("trsm", n * r * r, sw.seconds(), nt);
 }
 
 }  // namespace repro::linalg

@@ -1,0 +1,14 @@
+// Deliberate simd-confinement violations: raw intrinsics in a file outside
+// src/linalg/simd/.  Expected findings: the <immintrin.h> include, the
+// __m256d type, _mm256_loadu_pd, and _mm256_storeu_pd (4), plus one NEON
+// load (1); the _mm256_add_pd is suppressed in-source (1 suppression).
+#include <immintrin.h>
+
+void fixture_axpy(const double* x, double* y) {
+  __m256d vx = _mm256_loadu_pd(x);
+  // repro-lint: allow(simd-confinement)
+  vx = _mm256_add_pd(vx, vx);
+  _mm256_storeu_pd(y, vx);
+}
+
+double fixture_neon_load(const double* x) { return vld1q_f64(x)[0]; }

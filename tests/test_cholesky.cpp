@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "linalg/gemm.h"
+#include "linalg/simd/dispatch.h"
 #include "util/rng.h"
 
 namespace repro::linalg {
@@ -89,6 +90,20 @@ TEST(Cholesky, RegularizedZeroJitterWhenSpd) {
 TEST(Cholesky, RegularizedFarFromPsdThrows) {
   Matrix s{{-1.0, 0.0}, {0.0, -1.0}};
   EXPECT_THROW((void)chol_factor_regularized(s), std::runtime_error);
+}
+
+TEST(Cholesky, FactorReconstructsUnderEveryDispatchTier) {
+  // n >= 32 so the SIMD tiers actually take the dispatched dot path.
+  const std::string before = simd::tier_name(simd::active_tier());
+  const Matrix s = random_spd(64, 14, 64.0);
+  for (simd::Tier t : simd::available_tiers()) {
+    ASSERT_TRUE(simd::set_tier(simd::tier_name(t)));
+    const CholFactors f = chol_factor(s);
+    ASSERT_TRUE(f.ok) << simd::tier_name(t);
+    EXPECT_LT(max_abs_diff(multiply_bt(f.l, f.l), s), 1e-8)
+        << simd::tier_name(t);
+  }
+  simd::set_tier(before);
 }
 
 TEST(Cholesky, MultiRhsSolve) {

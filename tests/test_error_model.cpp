@@ -66,17 +66,29 @@ SelectionErrors reference_selection_errors(const linalg::Matrix& gram,
   return out;
 }
 
+// abs_tol covers sigmas that cancel to ~0: sigma = sqrt(w_ii - ||y||^2) is
+// then limited by catastrophic cancellation to O(sqrt(eps * w_ii)), so once
+// the batched path and the reference stop being the bit-identical scalar
+// recurrence (SIMD tiers reassociate; DESIGN.md §11) they can only agree to
+// that envelope.  Full-rank sigmas are O(1) and keep the tight relative
+// bound.
 void expect_matches_reference(const linalg::Matrix& w,
-                              const std::vector<int>& rep) {
-  const SelectionErrors got = selection_errors_from_gram(w, rep, 750.0, 3.0);
-  const SelectionErrors ref = reference_selection_errors(w, rep, 750.0, 3.0);
+                              const std::vector<int>& rep,
+                              double abs_tol = 0.0) {
+  const double t_cons = 750.0, kappa = 3.0;
+  const SelectionErrors got =
+      selection_errors_from_gram(w, rep, t_cons, kappa);
+  const SelectionErrors ref = reference_selection_errors(w, rep, t_cons, kappa);
   ASSERT_EQ(got.remaining, ref.remaining) << "r = " << rep.size();
   for (std::size_t k = 0; k < ref.sigma.size(); ++k) {
-    EXPECT_NEAR(got.sigma[k], ref.sigma[k], 1e-10 * (1.0 + ref.sigma[k]))
+    EXPECT_NEAR(got.sigma[k], ref.sigma[k],
+                1e-10 * (1.0 + ref.sigma[k]) + abs_tol)
         << "r = " << rep.size() << ", path slot " << k;
   }
-  EXPECT_NEAR(got.max_wc, ref.max_wc, 1e-10 * (1.0 + ref.max_wc));
-  EXPECT_NEAR(got.eps_r, ref.eps_r, 1e-10 * (1.0 + ref.eps_r));
+  EXPECT_NEAR(got.max_wc, ref.max_wc,
+              1e-10 * (1.0 + ref.max_wc) + kappa * abs_tol);
+  EXPECT_NEAR(got.eps_r, ref.eps_r,
+              1e-10 * (1.0 + ref.eps_r) + kappa * abs_tol / t_cons);
 }
 
 TEST(ErrorModel, GramIdentityMatchesPredictorSigmas) {
@@ -190,10 +202,13 @@ TEST(ErrorModel, BatchedMatchesReferenceOnRankDeficientGram) {
   const linalg::Matrix a =
       linalg::multiply(random_matrix(26, 4, 12), random_matrix(4, 20, 13));
   const linalg::Matrix w = linalg::gram(a);
+  // Past the rank every sigma cancels to ~0; diag(W) is O(10) here, so the
+  // cancellation envelope sqrt(eps * w_ii) is ~1e-7 (see
+  // expect_matches_reference).
   for (std::size_t r = 1; r <= 7; ++r) {
     std::vector<int> rep(r);
     std::iota(rep.begin(), rep.end(), 0);
-    expect_matches_reference(w, rep);
+    expect_matches_reference(w, rep, 1e-6);
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "linalg/simd/dispatch.h"
 #include "util/rng.h"
 
 namespace repro::linalg {
@@ -93,6 +94,21 @@ TEST(Gemm, ThreadCountConfigurable) {
   const Matrix b = random_matrix(64, 64, 12);
   EXPECT_LT(max_abs_diff(multiply(a, b), naive_multiply(a, b)), 1e-11);
   set_gemm_threads(before);
+}
+
+TEST(Gemm, CorrectUnderEveryDispatchTier) {
+  // The cross-tier agreement bound lives in test_simd_kernels; this is the
+  // in-place sanity sweep: every tier the host offers must track the naive
+  // triple loop on a packed-path-sized product.
+  const std::string before = simd::tier_name(simd::active_tier());
+  const Matrix a = random_matrix(70, 90, 14);
+  const Matrix b = random_matrix(90, 66, 15);
+  const Matrix ref = naive_multiply(a, b);
+  for (simd::Tier t : simd::available_tiers()) {
+    ASSERT_TRUE(simd::set_tier(simd::tier_name(t)));
+    EXPECT_LT(max_abs_diff(multiply(a, b), ref), 1e-10) << simd::tier_name(t);
+  }
+  simd::set_tier(before);
 }
 
 TEST(Gemm, IdentityIsNeutral) {

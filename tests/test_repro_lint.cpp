@@ -43,10 +43,12 @@ TEST(ReproLint, FixtureCountsAreExact) {
   EXPECT_EQ(counts.at("pragma-once"), 1);
   EXPECT_EQ(counts.at("banned-include"), 2);
   EXPECT_EQ(counts.at("include-order"), 2);
-  EXPECT_EQ(report.findings.size(), 14u);
-  // One determinism allow() and one contracts allow() in the fixtures.
-  EXPECT_EQ(report.suppressed, 2);
-  EXPECT_EQ(report.files_scanned, 4);
+  EXPECT_EQ(counts.at("simd-confinement"), 5);
+  EXPECT_EQ(report.findings.size(), 19u);
+  // One determinism allow(), one contracts allow(), and one
+  // simd-confinement allow() in the fixtures.
+  EXPECT_EQ(report.suppressed, 3);
+  EXPECT_EQ(report.files_scanned, 5);
 }
 
 TEST(ReproLint, EveryCheckHasAFixtureTruePositive) {
@@ -54,7 +56,8 @@ TEST(ReproLint, EveryCheckHasAFixtureTruePositive) {
   const std::map<std::string, int> counts = count_by_check(report);
   for (const char* check :
        {"determinism", "parallel-rng", "parallel-telemetry", "contracts",
-        "pragma-once", "banned-include", "include-order"}) {
+        "pragma-once", "banned-include", "include-order",
+        "simd-confinement"}) {
     EXPECT_GT(counts.count(check), 0u) << "no true positive for " << check;
   }
 }
@@ -136,6 +139,24 @@ TEST(ReproLint, ContractCheckScopedToContractDirs) {
   const Report out_of_scope =
       repro_lint::lint_source("src/timing/probe.cpp", body, options);
   EXPECT_TRUE(out_of_scope.findings.empty());
+}
+
+TEST(ReproLint, SimdConfinementScopedToSimdDirs) {
+  Options options;
+  const std::string body =
+      "#include <immintrin.h>\n"
+      "__m256d probe(const double* x) { return _mm256_loadu_pd(x); }\n";
+  // The micro-kernel layer itself may use intrinsics freely.
+  const Report exempt =
+      repro_lint::lint_source("src/linalg/simd/probe.cpp", body, options);
+  EXPECT_TRUE(exempt.findings.empty());
+
+  const Report confined =
+      repro_lint::lint_source("src/core/probe.cpp", body, options);
+  ASSERT_EQ(confined.findings.size(), 3u);
+  for (const Finding& f : confined.findings) {
+    EXPECT_EQ(f.check, "simd-confinement");
+  }
 }
 
 TEST(ReproLint, CliExitCodes) {

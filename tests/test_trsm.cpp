@@ -7,6 +7,7 @@
 
 #include "linalg/cholesky.h"
 #include "linalg/gemm.h"
+#include "linalg/simd/dispatch.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -108,6 +109,21 @@ TEST(Trsm, InvalidInputsThrow) {
   Matrix zero_diag = l;
   zero_diag(2, 2) = 0.0;
   EXPECT_THROW(trsm_lower_inplace(zero_diag, b), std::invalid_argument);
+}
+
+TEST(Trsm, SolvesCorrectlyUnderEveryDispatchTier) {
+  // Residual check per tier: ||L x - b|| stays at solve-roundoff level
+  // whichever micro-kernel the slab update routes through.
+  const std::string before = simd::tier_name(simd::active_tier());
+  const Matrix l = spd_factor(48, 11);
+  const Matrix b = random_matrix(48, 24, 12);
+  for (simd::Tier t : simd::available_tiers()) {
+    ASSERT_TRUE(simd::set_tier(simd::tier_name(t)));
+    Matrix x = b;
+    trsm_lower_inplace(l, x);
+    EXPECT_LT(max_abs_diff(multiply(l, x), b), 1e-10) << simd::tier_name(t);
+  }
+  simd::set_tier(before);
 }
 
 TEST(Trsm, EmptyCasesAreNoOps) {

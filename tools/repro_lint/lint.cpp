@@ -663,6 +663,59 @@ void check_hygiene(const std::string& path, const Source& src,
 }
 
 // ---------------------------------------------------------------------------
+// Check 5: SIMD confinement.
+//
+// Raw vector intrinsics are allowed only under options.simd_dirs (the
+// micro-kernel layer, src/linalg/simd/).  Everywhere else they bypass the
+// runtime dispatch table — and with it the scalar reference tier, the
+// REPRO_KERNEL override, and the per-tier determinism contract — so both
+// the intrinsic headers and the intrinsic identifiers are findings.
+// ---------------------------------------------------------------------------
+
+bool is_intrinsic_ident(const std::string& s) {
+  // x86: _mm_/_mm256_/_mm512_ calls and the __m128/__m256/__m512 types.
+  if (s.compare(0, 3, "_mm") == 0) return true;
+  if (s.size() >= 4 && s.compare(0, 3, "__m") == 0 &&
+      std::isdigit(static_cast<unsigned char>(s[3]))) {
+    return true;
+  }
+  // NEON: load/store/fma intrinsics and the lane-vector types.
+  for (const char* prefix : {"vld1", "vst1", "vfma", "vfms", "vaddv",
+                             "float64x", "float32x"}) {
+    const std::size_t len = std::char_traits<char>::length(prefix);
+    if (s.compare(0, len, prefix) == 0) return true;
+  }
+  return false;
+}
+
+void check_simd_confinement(const std::string& path, const Source& src,
+                            std::vector<Finding>& out) {
+  static const std::set<std::string> intrinsic_headers = {
+      "immintrin.h", "x86intrin.h", "arm_neon.h",  "emmintrin.h",
+      "xmmintrin.h", "pmmintrin.h", "tmmintrin.h", "smmintrin.h",
+      "nmmintrin.h", "wmmintrin.h", "avxintrin.h"};
+  for (const Directive& d : src.directives) {
+    const IncludeLine inc = parse_include(d);
+    if (!inc.name.empty() && intrinsic_headers.count(inc.name)) {
+      out.push_back({path, inc.line, "simd-confinement",
+                     "#include <" + inc.name +
+                         "> outside src/linalg/simd/: raw intrinsics are "
+                         "confined to the micro-kernel layer; call through "
+                         "the dispatched simd::ops() table instead"});
+    }
+  }
+  for (const Token& t : src.tokens) {
+    if (t.kind == Kind::kIdent && is_intrinsic_ident(t.text)) {
+      out.push_back({path, t.line, "simd-confinement",
+                     "raw vector intrinsic '" + t.text +
+                         "' outside src/linalg/simd/: add a kernel to the "
+                         "KernelOps table (per-tier, with a scalar "
+                         "reference) instead of open-coding SIMD here"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------------
 
@@ -694,6 +747,11 @@ Report lint_source(const std::string& path, const std::string& content,
     }
   }
   check_hygiene(normalized, src, raw);
+  bool simd_exempt = false;
+  for (const std::string& dir : options.simd_dirs) {
+    if (path_contains(normalized, dir)) simd_exempt = true;
+  }
+  if (!simd_exempt) check_simd_confinement(path, src, raw);
 
   Report report;
   report.files_scanned = 1;
@@ -784,7 +842,8 @@ int run_cli(int argc, const char* const* argv) {
              "Scans src/, bench/, examples/, tests/ under --root (default\n"
              "current directory) unless explicit paths are given.  Checks:\n"
              "determinism, parallel-rng, parallel-telemetry, contracts,\n"
-             "pragma-once, banned-include, include-order.  Suppress with\n"
+             "pragma-once, banned-include, include-order, simd-confinement.\n"
+             "Suppress with\n"
              "  // repro-lint: allow(<check>)       (same line or line above)\n"
              "  // repro-lint: allow-file(<check>)  (whole file)\n";
       return 0;

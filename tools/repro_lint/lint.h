@@ -25,6 +25,11 @@
 //                       <iostream> in headers (use <iosfwd>).
 //   include-order       unsorted includes within a block, or angle includes
 //                       after quoted ones in the same block.
+//   simd-confinement    raw vector intrinsics (<immintrin.h>/<arm_neon.h>
+//                       includes, _mm*/__m* / NEON identifiers) outside
+//                       src/linalg/simd/.  Every other layer goes through
+//                       the dispatched KernelOps table, so the scalar
+//                       reference tier stays the single source of truth.
 //
 // Any finding is suppressible in-source with
 //
@@ -58,6 +63,9 @@ struct Options {
   // Normalized-path substrings excluded from scanning entirely (the lint
   // test fixtures are deliberate violations).
   std::vector<std::string> skip = {"lint_fixtures"};
+  // Files under these normalized-path substrings may use raw vector
+  // intrinsics; everywhere else they are `simd-confinement` findings.
+  std::vector<std::string> simd_dirs = {"src/linalg/simd/"};
 };
 
 struct Report {

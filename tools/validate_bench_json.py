@@ -29,7 +29,26 @@ SCALE_MODES = ("fast", "default", "full")
 # these is a silent hole in the cross-PR history, so fail loudly instead.
 REQUIRED_METRICS = {
     "selection_sweep": ("speedup_vs_reference", "panel_speedup",
-                        "allocs_per_call", "results_match"),
+                        "allocs_per_call", "results_match",
+                        "kernel_tier", "gram_gflops", "gram_peak_fraction"),
+    "kernels": ("dispatched_tier", "kernel_n",
+                "gemm_gflops", "gemm_peak_fraction",
+                "syrk_gflops", "syrk_peak_fraction",
+                "trsm_gflops", "trsm_peak_fraction",
+                "gemm_speedup_vs_scalar", "syrk_speedup_vs_scalar",
+                "trsm_speedup_vs_scalar"),
+}
+# Perf-regression gate: minimum dispatched-tier-over-scalar speedups, keyed
+# by bench.  Ratios cancel the runner's clock, so the floors hold on any
+# throttled CI machine.  Enforced only when the record's dispatched_tier is
+# a SIMD tier — the REPRO_KERNEL=scalar reference leg (and a host with no
+# SIMD tier at all) reports speedup 1.0 by construction and is exempt.
+SPEEDUP_FLOORS = {
+    "kernels": {
+        "gemm_speedup_vs_scalar": 1.5,
+        "syrk_speedup_vs_scalar": 1.5,
+        "trsm_speedup_vs_scalar": 1.05,
+    },
 }
 
 
@@ -62,6 +81,15 @@ def validate(path):
         if metric not in rec["metrics"]:
             raise ValueError(f"metrics missing {metric!r} "
                              f"(required for bench {rec['bench']!r})")
+    floors = SPEEDUP_FLOORS.get(rec["bench"], {})
+    if floors and rec["metrics"].get("dispatched_tier") != "scalar":
+        for metric, floor in floors.items():
+            value = float(rec["metrics"][metric])
+            if value < floor:
+                raise ValueError(
+                    f"perf regression: {metric} = {value:.3g} below the "
+                    f"{floor} floor (dispatched_tier = "
+                    f"{rec['metrics'].get('dispatched_tier')!r})")
     for key in TELEMETRY_KEYS:
         if key not in rec["telemetry"]:
             raise ValueError(f"telemetry missing {key!r}")
