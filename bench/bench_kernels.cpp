@@ -257,9 +257,10 @@ BENCHMARK(BM_MonteCarloEvaluate)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 // CI perf-gate metrics: tools/validate_bench_json.py checks that the
 // gflops/peak_fraction numbers exist and that the dispatched tier clears
 // its speedup-vs-scalar floor (clock-independent, so it holds on any
-// throttled runner).  A forced REPRO_KERNEL (the scalar reference leg)
-// restricts the sweep to that tier and reports speedup 1.0, which the
-// validator exempts from the floor.
+// throttled runner).  A forced REPRO_KERNEL restricts the sweep to exactly
+// that tier, so no scalar leg is timed and the speedups degenerate to 1.0;
+// the record says so via scalar_timed = 0 (and forced_tier), which the
+// validator uses to exempt the floor check.
 // ---------------------------------------------------------------------------
 
 struct KernelTimes {
@@ -355,8 +356,14 @@ void run_tier_sweep(repro::bench::Harness& h) {
 
   const double dispatched_peak =
       simd::theoretical_peak_gflops(dispatched, threads);
+  // Whether a scalar leg was actually timed decides if the speedup ratios
+  // mean anything: a forced non-scalar tier never times scalar and reports
+  // 1.0, which must not trip the validator's floor.
+  const bool have_scalar = scalar_gemm_s > 0.0;
   h.metric("kernel_n", n);
   h.metric("dispatched_tier", simd::tier_name(dispatched));
+  h.metric("forced_tier", forced.empty() ? "none" : forced);
+  h.metric("scalar_timed", have_scalar);
   h.metric("tiers_timed", tier_list);
   h.metric("nominal_cpu_ghz", util::nominal_cpu_ghz());
   h.metric("gemm_gflops", gemm_flops / dispatched_times.gemm_s * 1e-9);
@@ -370,7 +377,6 @@ void run_tier_sweep(repro::bench::Harness& h) {
            trsm_flops / dispatched_times.trsm_s * 1e-9 / dispatched_peak);
   // Speedup ratios cancel the clock estimate entirely; 1.0 when the sweep
   // had no scalar leg to compare against (forced non-scalar tier).
-  const bool have_scalar = scalar_gemm_s > 0.0;
   h.metric("gemm_speedup_vs_scalar",
            have_scalar ? scalar_gemm_s / dispatched_times.gemm_s : 1.0);
   h.metric("syrk_speedup_vs_scalar",

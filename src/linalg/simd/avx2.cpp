@@ -14,9 +14,15 @@
 
 #include <immintrin.h>
 
+#include <cmath>
+
 namespace repro::linalg::simd {
 namespace {
 
+// The scalar tail fuses with std::fma so every element is the identical
+// single-rounded operation whatever its offset: callers (trsm slabs) may
+// start axpy at partition-dependent offsets, and an unfused tail would make
+// the bits depend on where the element falls relative to the lane grid.
 void axpy_avx2(std::size_t n, double alpha, const double* x, double* y) {
   const __m256d va = _mm256_set1_pd(alpha);
   std::size_t i = 0;
@@ -33,7 +39,7 @@ void axpy_avx2(std::size_t n, double alpha, const double* x, double* y) {
         _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i));
     _mm256_storeu_pd(y + i, y0);
   }
-  for (; i < n; ++i) y[i] += alpha * x[i];
+  for (; i < n; ++i) y[i] = std::fma(alpha, x[i], y[i]);
 }
 
 // Sums the four lanes of (a + b) in a fixed order: (lo+hi) pairwise.

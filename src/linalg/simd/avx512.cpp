@@ -9,9 +9,14 @@
 
 #include <immintrin.h>
 
+#include <cmath>
+
 namespace repro::linalg::simd {
 namespace {
 
+// std::fma tail: every element is the identical single-rounded fused op
+// whatever its offset, so partition-dependent start offsets (trsm slabs)
+// cannot change the bits.
 void axpy_avx512(std::size_t n, double alpha, const double* x, double* y) {
   const __m512d va = _mm512_set1_pd(alpha);
   std::size_t i = 0;
@@ -28,7 +33,7 @@ void axpy_avx512(std::size_t n, double alpha, const double* x, double* y) {
         _mm512_fmadd_pd(va, _mm512_loadu_pd(x + i), _mm512_loadu_pd(y + i));
     _mm512_storeu_pd(y + i, y0);
   }
-  for (; i < n; ++i) y[i] += alpha * x[i];
+  for (; i < n; ++i) y[i] = std::fma(alpha, x[i], y[i]);
 }
 
 double dot_avx512(std::size_t n, const double* x, const double* y) {

@@ -49,15 +49,14 @@ bool parse_tier(std::string_view name, Tier& out) {
   return true;
 }
 
-// Resolves a requested tier name to a runnable table; unknown or
-// unavailable requests fall back to scalar and tick the fallback counter so
-// a mis-set REPRO_KERNEL is visible in every telemetry snapshot.
-const KernelOps* resolve(std::string_view name, bool& ok) {
+// Resolves a requested tier name to a runnable table, or nullptr for an
+// unknown/unavailable request — ticking the fallback counter either way so
+// a rejected request is visible in every telemetry snapshot.
+const KernelOps* resolve(std::string_view name) {
   Tier tier = Tier::kScalar;
-  ok = parse_tier(name, tier) && runnable(tier);
-  if (!ok) {
+  if (!parse_tier(name, tier) || !runnable(tier)) {
     util::telemetry::count("linalg.simd.dispatch_fallback");
-    return scalar_ops();
+    return nullptr;
   }
   return table_for(tier);
 }
@@ -66,10 +65,12 @@ void init_dispatch() {
   g_env_forced = new std::string();
   const char* env = std::getenv("REPRO_KERNEL");
   if (env != nullptr && env[0] != '\0') {
-    bool ok = false;
-    const KernelOps* t = resolve(env, ok);
-    if (ok) *g_env_forced = env;
-    g_active.store(t, std::memory_order_relaxed);
+    // A bad REPRO_KERNEL has no previous tier to keep: start on scalar (the
+    // always-safe reference) rather than guessing a wider tier.
+    const KernelOps* t = resolve(env);
+    if (t != nullptr) *g_env_forced = env;
+    g_active.store(t != nullptr ? t : scalar_ops(),
+                   std::memory_order_relaxed);
     return;
   }
   g_active.store(table_for(best_available_tier()),
@@ -114,9 +115,15 @@ Tier active_tier() { return ops().tier; }
 
 bool set_tier(std::string_view name) {
   std::call_once(g_init_once, init_dispatch);
-  bool ok = false;
-  g_active.store(resolve(name, ok), std::memory_order_relaxed);
-  return ok;
+  const KernelOps* t = resolve(name);
+  if (t == nullptr) {
+    // Keep the active tier: a caller that ignores the return value (or a
+    // typo in a bench harness) must not silently downgrade the whole
+    // process to scalar for the rest of the run.
+    return false;
+  }
+  g_active.store(t, std::memory_order_relaxed);
+  return true;
 }
 
 std::string env_forced_tier() {

@@ -23,8 +23,9 @@
 //
 // Tier selection: best available by default; the REPRO_KERNEL environment
 // variable ("scalar", "avx2", "avx512", "neon") forces a tier at startup.
-// Forcing an unknown or unavailable tier falls back to scalar and ticks the
-// linalg.simd.dispatch_fallback counter.
+// Forcing an unknown or unavailable tier at startup falls back to scalar
+// and ticks the linalg.simd.dispatch_fallback counter (a later failed
+// set_tier keeps the active tier instead — see set_tier below).
 #pragma once
 
 #include <cstddef>
@@ -54,10 +55,12 @@ std::vector<Tier> available_tiers();
 Tier active_tier();
 
 // Forces the active tier by name.  Returns true and switches when `name` is
-// a known, available tier; otherwise falls back to kScalar, ticks the
-// linalg.simd.dispatch_fallback telemetry counter, and returns false.  Not
-// meant to race with in-flight kernels (benches and tests switch between
-// runs).
+// a known, available tier; otherwise LEAVES THE ACTIVE TIER UNCHANGED,
+// ticks the linalg.simd.dispatch_fallback telemetry counter, and returns
+// false — a rejected request must not silently downgrade a process that
+// ignores the return value.  (Only the startup REPRO_KERNEL path falls back
+// to scalar: there is no previous tier to keep yet.)  Not meant to race
+// with in-flight kernels (benches and tests switch between runs).
 bool set_tier(std::string_view name);
 
 // The tier REPRO_KERNEL forced at startup, or empty when unset/invalid.

@@ -8,9 +8,14 @@
 
 #include <arm_neon.h>
 
+#include <cmath>
+
 namespace repro::linalg::simd {
 namespace {
 
+// std::fma tail: every element is the identical single-rounded fused op
+// whatever its offset, so partition-dependent start offsets (trsm slabs)
+// cannot change the bits.
 void axpy_neon(std::size_t n, double alpha, const double* x, double* y) {
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -21,7 +26,7 @@ void axpy_neon(std::size_t n, double alpha, const double* x, double* y) {
     vst1q_f64(y + i, y0);
     vst1q_f64(y + i + 2, y1);
   }
-  for (; i < n; ++i) y[i] += alpha * x[i];
+  for (; i < n; ++i) y[i] = std::fma(alpha, x[i], y[i]);
 }
 
 double dot_neon(std::size_t n, const double* x, const double* y) {

@@ -24,11 +24,18 @@ namespace {
 // verbatim, so REPRO_KERNEL=scalar stays bit-identical to the pre-SIMD
 // solver (IEEE-754 negation is exact, but FMA fuses the multiply-add, so
 // the SIMD result sits inside the documented tier tolerance instead).
-void solve_slab(const Matrix& l, Matrix& b, std::size_t cb, std::size_t ce) {
+//
+// use_simd is decided by the caller from the WHOLE problem (b.cols()), never
+// from the slab width: a thread-count-dependent slab partition must not be
+// able to route a narrow trailing slab onto a different code path (DESIGN.md
+// §11 thread-count invariance).  Within axpy every element is one fused
+// multiply-add whatever its offset — the tier tails use std::fma for exactly
+// this reason — so the slab boundaries stay bitwise irrelevant.
+void solve_slab(const Matrix& l, Matrix& b, std::size_t cb, std::size_t ce,
+                bool use_simd) {
   const std::size_t r = l.rows();
   const std::size_t w = ce - cb;
   const simd::KernelOps& t = simd::ops();
-  const bool use_simd = t.tier != simd::Tier::kScalar && w >= 8;
   for (std::size_t j = 0; j < r; ++j) {
     double* bj = &b(j, cb);
     const double* lj = l.row(j).data();
@@ -71,18 +78,26 @@ void trsm_lower_inplace(const Matrix& l, Matrix& b) {
   const util::telemetry::Span span("linalg.trsm");
   const util::Stopwatch sw;
 
+  // One SIMD decision for the whole solve, keyed on the full RHS width so it
+  // cannot vary with how the thread pool slices the columns.
+  const bool use_simd =
+      simd::ops().tier != simd::Tier::kScalar && n >= 8;
   const std::size_t nt = util::thread_count();
   if (nt <= 1 || n * r * r <= 2'000'000 || n <= 1) {
-    solve_slab(l, b, 0, n);
+    solve_slab(l, b, 0, n, use_simd);
     record_kernel_throughput("trsm", n * r * r, sw.seconds(), 1);
     return;
   }
   // Wide-enough slabs amortize streaming L once per slab; ~4 slabs per
-  // thread keeps the pool load-balanced without per-column overhead.
+  // thread keeps the pool load-balanced without per-column overhead.  The
+  // grain is rounded up to the widest vector width so interior slab
+  // boundaries land on lane boundaries for every tier (belt-and-braces on
+  // top of the offset-independent axpy).
   const std::size_t grain =
-      std::max<std::size_t>(32, n / std::max<std::size_t>(1, 4 * nt));
+      (std::max<std::size_t>(32, n / std::max<std::size_t>(1, 4 * nt)) + 7) /
+      8 * 8;
   util::parallel_for(0, n, grain, [&](std::size_t cb, std::size_t ce) {
-    solve_slab(l, b, cb, ce);
+    solve_slab(l, b, cb, ce, use_simd);
   });
   record_kernel_throughput("trsm", n * r * r, sw.seconds(), nt);
 }

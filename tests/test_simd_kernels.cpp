@@ -2,8 +2,8 @@
 // every tier the host can run must agree with the scalar reference within
 // the documented reassociation bound, the scalar tier must stay bit-exact
 // against the legacy loop nests, results must be thread-count invariant
-// within a tier, and unknown/unavailable tier requests must fall back to
-// scalar while ticking the dispatch_fallback counter.
+// within a tier, and unknown/unavailable set_tier requests must leave the
+// active tier unchanged while ticking the dispatch_fallback counter.
 #include "linalg/simd/dispatch.h"
 
 #include <gtest/gtest.h>
@@ -104,16 +104,24 @@ TEST(SimdDispatch, BestAvailableTierIsRunnable) {
   EXPECT_TRUE(simd::tier_available(simd::best_available_tier()));
 }
 
-TEST(SimdDispatch, UnknownTierFallsBackToScalarAndCounts) {
+TEST(SimdDispatch, UnknownTierKeepsActiveTierAndCounts) {
+  // A rejected request must not downgrade the process: whatever tier was
+  // active stays active, the fallback counter ticks, and set_tier reports
+  // failure.  Checked from every startable tier, not just scalar.
   TierGuard guard;
   util::telemetry::set_enabled(true);
-  const std::uint64_t before = counter_value("linalg.simd.dispatch_fallback");
-  EXPECT_FALSE(simd::set_tier("not-a-tier"));
-  EXPECT_EQ(simd::active_tier(), simd::Tier::kScalar);
-  EXPECT_EQ(counter_value("linalg.simd.dispatch_fallback"), before + 1);
+  for (simd::Tier t : simd::available_tiers()) {
+    ASSERT_TRUE(simd::set_tier(simd::tier_name(t)));
+    const std::uint64_t before =
+        counter_value("linalg.simd.dispatch_fallback");
+    EXPECT_FALSE(simd::set_tier("not-a-tier"));
+    EXPECT_EQ(simd::active_tier(), t) << simd::tier_name(t);
+    EXPECT_EQ(counter_value("linalg.simd.dispatch_fallback"), before + 1)
+        << simd::tier_name(t);
+  }
 }
 
-TEST(SimdDispatch, UnavailableTierFallsBackToScalarAndCounts) {
+TEST(SimdDispatch, UnavailableTierKeepsActiveTierAndCounts) {
   // Whichever of avx2/neon the host lacks; skip on the (exotic) host that
   // can run both.
   const char* missing = nullptr;
@@ -122,9 +130,11 @@ TEST(SimdDispatch, UnavailableTierFallsBackToScalarAndCounts) {
   if (missing == nullptr) GTEST_SKIP() << "host runs every probed tier";
   TierGuard guard;
   util::telemetry::set_enabled(true);
+  const simd::Tier best = simd::best_available_tier();
+  ASSERT_TRUE(simd::set_tier(simd::tier_name(best)));
   const std::uint64_t before = counter_value("linalg.simd.dispatch_fallback");
   EXPECT_FALSE(simd::set_tier(missing));
-  EXPECT_EQ(simd::active_tier(), simd::Tier::kScalar);
+  EXPECT_EQ(simd::active_tier(), best);
   EXPECT_EQ(counter_value("linalg.simd.dispatch_fallback"), before + 1);
 }
 
@@ -262,14 +272,39 @@ TEST(SimdKernels, ResultsThreadCountInvariantWithinTier) {
   // Big enough that 4 threads actually split the row blocks and slabs.
   const Matrix a = random_matrix(300, 280, 41);
   const Matrix b = random_matrix(280, 260, 42);
+  // A^T-form GEMM: 2*280*300*100 flops clears the packed-path threshold so
+  // SIMD tiers split the row blocks across the pool.
+  const Matrix bt = random_matrix(300, 100, 43);
+  // gram_t shaped to clear its parallel_rows threshold (n*(k/2+n) > 4e6)
+  // while staying cheap: short k, wide n, so the fused-axpy row updates run
+  // at every offset 0..n-1.
+  const Matrix g = random_matrix(8, 2048, 44);
+  // trsm with 100 RHS columns: the 4-thread slab partition ends in a narrow
+  // trailing slab ([96,100), width 4 < one avx2 iteration), the exact shape
+  // that once routed serial and threaded runs onto different code paths.
+  Matrix w = gram(a);
+  for (std::size_t i = 0; i < 300; ++i) w(i, i) += 300.0;
+  const CholFactors f = chol_factor(std::move(w));
+  ASSERT_TRUE(f.ok);
+  const Matrix rhs = random_matrix(300, 100, 45);
   for (simd::Tier t : simd::available_tiers()) {
     ASSERT_TRUE(simd::set_tier(simd::tier_name(t)));
     util::set_threads(1);
     const Matrix c1 = multiply(a, b);
     const Matrix w1 = gram(a);
+    const Matrix cat1 = multiply_at(a, bt);
+    const Matrix gt1 = gram_t(g);
+    Matrix x1 = rhs;
+    trsm_lower_inplace(f.l, x1);
     util::set_threads(4);
     EXPECT_EQ(max_abs_diff(multiply(a, b), c1), 0.0) << simd::tier_name(t);
     EXPECT_EQ(max_abs_diff(gram(a), w1), 0.0) << simd::tier_name(t);
+    EXPECT_EQ(max_abs_diff(multiply_at(a, bt), cat1), 0.0)
+        << simd::tier_name(t);
+    EXPECT_EQ(max_abs_diff(gram_t(g), gt1), 0.0) << simd::tier_name(t);
+    Matrix x4 = rhs;
+    trsm_lower_inplace(f.l, x4);
+    EXPECT_EQ(max_abs_diff(x4, x1), 0.0) << simd::tier_name(t);
   }
 }
 

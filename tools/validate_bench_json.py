@@ -31,7 +31,7 @@ REQUIRED_METRICS = {
     "selection_sweep": ("speedup_vs_reference", "panel_speedup",
                         "allocs_per_call", "results_match",
                         "kernel_tier", "gram_gflops", "gram_peak_fraction"),
-    "kernels": ("dispatched_tier", "kernel_n",
+    "kernels": ("dispatched_tier", "forced_tier", "scalar_timed", "kernel_n",
                 "gemm_gflops", "gemm_peak_fraction",
                 "syrk_gflops", "syrk_peak_fraction",
                 "trsm_gflops", "trsm_peak_fraction",
@@ -40,9 +40,11 @@ REQUIRED_METRICS = {
 }
 # Perf-regression gate: minimum dispatched-tier-over-scalar speedups, keyed
 # by bench.  Ratios cancel the runner's clock, so the floors hold on any
-# throttled CI machine.  Enforced only when the record's dispatched_tier is
-# a SIMD tier — the REPRO_KERNEL=scalar reference leg (and a host with no
-# SIMD tier at all) reports speedup 1.0 by construction and is exempt.
+# throttled CI machine.  Enforced only when the sweep actually timed a
+# scalar leg (scalar_timed; any forced REPRO_KERNEL tier skips the scalar
+# leg and reports speedup 1.0 by construction) AND the dispatched tier is a
+# SIMD tier — scalar-vs-scalar is identically 1.0.  Records predating
+# scalar_timed fall back to the dispatched_tier test alone.
 SPEEDUP_FLOORS = {
     "kernels": {
         "gemm_speedup_vs_scalar": 1.5,
@@ -82,7 +84,9 @@ def validate(path):
             raise ValueError(f"metrics missing {metric!r} "
                              f"(required for bench {rec['bench']!r})")
     floors = SPEEDUP_FLOORS.get(rec["bench"], {})
-    if floors and rec["metrics"].get("dispatched_tier") != "scalar":
+    scalar_timed = bool(rec["metrics"].get("scalar_timed", True))
+    if (floors and scalar_timed
+            and rec["metrics"].get("dispatched_tier") != "scalar"):
         for metric, floor in floors.items():
             value = float(rec["metrics"][metric])
             if value < floor:
