@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "linalg/gemm.h"
+#include "util/contracts.h"
 #include "util/rng.h"
 
 namespace repro::core {
@@ -95,6 +96,42 @@ GuardbandReport guardband_analysis(const variation::VariationModel& model,
   }
   rep.mc.samples = options.samples;
   return rep;
+}
+
+AdaptiveGuardband adaptive_guardband(std::span<const double> base_sigma_ps,
+                                     std::span<const double> shift_var_ps2,
+                                     std::span<const double> mu_rem_ps,
+                                     double kappa) {
+  REPRO_CHECK_DIM(base_sigma_ps.size(), shift_var_ps2.size(),
+                  "adaptive_guardband: base sigmas vs shift variances");
+  REPRO_CHECK_DIM(base_sigma_ps.size(), mu_rem_ps.size(),
+                  "adaptive_guardband: base sigmas vs nominal delays");
+  AdaptiveGuardband g;
+  const std::size_t n = base_sigma_ps.size();
+  if (n == 0 || base_sigma_ps.size() != shift_var_ps2.size() ||
+      base_sigma_ps.size() != mu_rem_ps.size()) {
+    return g;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double base2 = base_sigma_ps[i] * base_sigma_ps[i];
+    const double q = std::max(0.0, shift_var_ps2[i]);
+    const double var = base2 + q;
+    const double sigma = std::sqrt(var);
+    // |mu| == 0 cannot happen for a real path delay; guard the division so a
+    // degenerate synthetic input degrades to "no guard-band" per path
+    // instead of an inf that poisons the mean.
+    const double mu = std::abs(mu_rem_ps[i]);
+    const double eps = (mu > 0.0) ? kappa * sigma / mu : 0.0;
+    g.eps += eps;
+    g.max_eps = std::max(g.max_eps, eps);
+    g.mean_sigma_ps += sigma;
+    g.shift_share += (var > 0.0) ? q / var : 0.0;
+  }
+  const auto dn = static_cast<double>(n);
+  g.eps /= dn;
+  g.mean_sigma_ps /= dn;
+  g.shift_share /= dn;
+  return g;
 }
 
 }  // namespace repro::core

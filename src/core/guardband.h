@@ -40,4 +40,34 @@ GuardbandReport guardband_analysis(const variation::VariationModel& model,
                                    double t_cons, double epsilon,
                                    const McOptions& options = {});
 
+// ---------------------------------------------------------------------------
+// Streaming adaptive guard-band (core/streaming_calibrator.h).
+//
+// Per remaining path i the total prediction sigma combines the batch
+// predictor's analytic error sigma with the streaming shift-posterior
+// variance q_i = a_i^T P a_i:
+//
+//   sigma_i = sqrt(base_i^2 + q_i),   eps_i = kappa * sigma_i / |mu_i|.
+//
+// The guard-band is the mean eps_i.  Along a clean stream with forgetting 1
+// every accepted die shrinks P (and so every q_i), so the guard-band is
+// monotonically non-inflating and tightens as information accumulates.
+// ---------------------------------------------------------------------------
+
+struct AdaptiveGuardband {
+  double eps = 0.0;            // mean relative guard-band over remaining paths
+  double max_eps = 0.0;        // worst per-path relative guard-band
+  double mean_sigma_ps = 0.0;  // mean total per-path sigma
+  double shift_share = 0.0;    // mean variance fraction from the shift term
+};
+
+// `base_sigma_ps` are the batch per-path error sigmas (e.g.
+// RobustPredictor::error_sigmas()), `shift_var_ps2` the per-path posterior
+// variances q_i, `mu_rem_ps` the nominal remaining-path delays; all three
+// must align.  Empty inputs yield a zero guard-band.
+AdaptiveGuardband adaptive_guardband(std::span<const double> base_sigma_ps,
+                                     std::span<const double> shift_var_ps2,
+                                     std::span<const double> mu_rem_ps,
+                                     double kappa);
+
 }  // namespace repro::core

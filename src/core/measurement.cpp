@@ -63,12 +63,14 @@ NoisyMeasurements apply_faults(std::span<const double> clean,
     if (!out.valid[i]) {
       out.values[i] = nominal[i];
       ++out.dropped;
+      ++out.dead;
       continue;
     }
     if (u_drop < spec.dropout_rate) {
       out.valid[i] = 0;
       out.values[i] = nominal[i];
       ++out.dropped;
+      ++out.dropout;
       continue;
     }
     const double sigma =
@@ -77,6 +79,7 @@ NoisyMeasurements apply_faults(std::span<const double> clean,
     if (u_outlier < spec.outlier_rate) {
       noise *= spec.outlier_scale;
       ++out.outliers;
+      out.outlier_slots.push_back(static_cast<int>(i));
     }
     double v = clean[i] + noise;
     if (spec.quantization_ps > 0.0) {

@@ -68,6 +68,11 @@ struct NoisyMeasurements {
   std::vector<char> valid;  // 0 = dropped/unmeasurable on this die
   int outliers = 0;         // slots that drew the outlier mixture component
   int dropped = 0;          // slots invalid on this die (dead + dropout)
+  // Per-fault-mode breakdown (dropped == dead + dropout): lets evaluation
+  // telemetry distinguish tester faults from model drift.
+  int dead = 0;             // slots invalid because listed in dead_slots
+  int dropout = 0;          // slots invalid from the per-die dropout draw
+  std::vector<int> outlier_slots;  // which slots drew the outlier component
 };
 
 // Applies the fault schedule for die `die` to the clean measurements.

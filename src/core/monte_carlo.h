@@ -18,6 +18,7 @@
 
 #include "core/measurement.h"
 #include "core/predictor.h"
+#include "core/streaming_calibrator.h"
 #include "variation/variation_model.h"
 
 namespace repro::core {
@@ -72,10 +73,72 @@ struct FaultyMcMetrics {
   double mean_screened = 0.0;    // outlier slots screened per die (robust)
   double mean_missing = 0.0;     // invalid measurement slots per die
   double mean_outliers = 0.0;    // outlier slots injected per die
+  // Per-fault-mode breakdown (telemetry mirrors: core.mc.reject_outlier,
+  // .reject_noise, .slots_dead, .slots_dropout).  Screened slots are
+  // attributed to the fault that produced them: an injected heavy-tail
+  // outlier vs. plain sensor noise; invalid slots split dead vs. dropout.
+  double mean_screened_outlier = 0.0;  // screened slots that were injected
+  double mean_screened_noise = 0.0;    // screened slots that were only noisy
+  double mean_dead = 0.0;              // dead (always-unmeasurable) slots/die
+  double mean_dropout = 0.0;           // per-die dropout slots/die
 };
 
 FaultyMcMetrics evaluate_predictor_under_faults(
     const variation::VariationModel& model, const RobustPredictor& predictor,
     const FaultyMcOptions& options = {});
+
+// --- Streaming evaluation (deterministic die stream) ----------------------
+//
+// Feeds a StreamingCalibrator one die at a time in die order: die k draws its
+// silicon from stream(mc.seed, k) and its fault schedule from
+// stream(faults.seed, k), exactly like the batch fault protocol.  Die
+// *generation* runs block-parallel (per-die RNG streams written to
+// die-indexed storage, reduced in fixed order) while the calibrator pass is
+// sequential by design — the state recursion is order-dependent — so every
+// metric and the full trajectory are bit-identical for any thread count.
+//
+// Optionally injects a model-drift scenario: from `start_die` on, the silicon
+// parameter mean shifts by `magnitude` (in parameter sigmas) along
+// `direction` (default: common-mode, all parameters equally).  This is the
+// drift the CUSUM monitor must flag; the injected shift moves both the
+// measured slots and the true remaining-path delays.
+struct DriftScenario {
+  std::size_t start_die = kNoDie;  // kNoDie = no drift injected
+  double magnitude = 0.0;          // parameter-space norm of the mean shift
+  linalg::Vector direction;        // optional; normalized internally.  Empty
+                                   // = common-mode 1/sqrt(m) per parameter.
+  bool active() const { return start_die != kNoDie && magnitude != 0.0; }
+};
+
+struct StreamingMcOptions {
+  McOptions mc;              // samples = dies in the stream; chunk = GEMM batch
+  FaultSpec faults;
+  StreamingOptions stream;
+  DriftScenario drift;
+  // Dies generated per parallel block (bounds the die-indexed staging
+  // buffers; performance/memory only, never the sampled values).
+  std::size_t block = 1024;
+  bool record_trajectory = true;  // per-die guard-band / drift-score curves
+};
+
+struct StreamingMcMetrics {
+  McMetrics metrics;    // e1/e2 of the per-die streaming predictions
+  StreamStatus status;  // final calibrator status (gate counts, drift, ...)
+  linalg::Vector guardband_trajectory;  // per die (empty unless recorded)
+  linalg::Vector drift_trajectory;      // CUSUM score per die
+  std::size_t dies = 0;
+  std::size_t drift_flag_die = kNoDie;  // first die the CUSUM flagged
+  double initial_guardband = 0.0;       // prior-only adaptive guard-band
+  double final_guardband = 0.0;
+  // True when the guard-band never inflated along the stream (expected on a
+  // clean stream with forgetting 1).
+  bool guardband_monotone = true;
+};
+
+// Never throws: an unusable predictor yields an unusable stream whose
+// metrics are the nominal-fallback errors.
+StreamingMcMetrics evaluate_predictor_streaming(
+    const variation::VariationModel& model, const RobustPredictor& predictor,
+    const StreamingMcOptions& options = {});
 
 }  // namespace repro::core

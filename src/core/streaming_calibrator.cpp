@@ -1,0 +1,479 @@
+#include "core/streaming_calibrator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "core/guardband.h"
+#include "linalg/gemm.h"
+#include "linalg/solve.h"
+#include "util/telemetry.h"
+
+namespace repro::core {
+
+const char* to_string(StreamHealth h) {
+  switch (h) {
+    case StreamHealth::kOk: return "ok";
+    case StreamHealth::kDegraded: return "degraded";
+    case StreamHealth::kUnusable: return "unusable";
+  }
+  return "?";
+}
+
+const char* to_string(StreamGate g) {
+  switch (g) {
+    case StreamGate::kNone: return "accepted";
+    case StreamGate::kStreamUnusable: return "stream_unusable";
+    case StreamGate::kSizeMismatch: return "size_mismatch";
+    case StreamGate::kNoUsableSlots: return "no_usable_slots";
+    case StreamGate::kPathologicalSolve: return "pathological_solve";
+    case StreamGate::kExcessScreening: return "excess_screening";
+    case StreamGate::kInnovationOutlier: return "innovation_outlier";
+    case StreamGate::kIllConditioned: return "ill_conditioned";
+  }
+  return "?";
+}
+
+namespace {
+
+bool quarantine_gate(StreamGate g) {
+  // Rejected = failed the robust gate but was a well-formed die; quarantined
+  // = unusable input or a pathological update system.
+  return g != StreamGate::kExcessScreening &&
+         g != StreamGate::kInnovationOutlier;
+}
+
+bool all_finite(std::span<const double> v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+double median_of(linalg::Vector v) {
+  const std::size_t n = v.size();
+  const std::size_t h = n / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(h),
+                   v.end());
+  double med = v[h];
+  if (n % 2 == 0) {
+    med = 0.5 * (med + *std::max_element(
+                           v.begin(), v.begin() + static_cast<std::ptrdiff_t>(h)));
+  }
+  return med;
+}
+
+}  // namespace
+
+// The streaming entry points deliberately convert every precondition
+// violation into a quarantined DieRecord / StreamStatus instead of aborting:
+// the stream must survive fault-injected input.
+// repro-lint: allow-file(contracts)
+
+StreamingCalibrator::StreamingCalibrator(const RobustPredictor& predictor,
+                                         const StreamingOptions& options)
+    : predictor_(predictor), options_(options) {
+  // Sanitize the knobs that feed divisions.
+  if (!(options_.forgetting > 0.0 && options_.forgetting <= 1.0)) {
+    options_.forgetting = 1.0;
+  }
+  if (!(options_.prior_precision > 0.0)) options_.prior_precision = 1.0;
+  if (!predictor_.status.usable()) {
+    mark_unusable("batch predictor unusable: " + predictor_.status.message);
+    publish_telemetry();
+    return;
+  }
+  m_ = predictor_.a_meas.cols();
+  const std::size_t n_rem = predictor_.a_rem.rows();
+  b_.assign(m_, 0.0);
+  const double prior_var = 1.0 / options_.prior_precision;
+  p_ = linalg::Matrix(m_, m_);
+  for (std::size_t i = 0; i < m_; ++i) p_(i, i) = prior_var;
+  q_.assign(n_rem, 0.0);
+  for (std::size_t i = 0; i < n_rem; ++i) {
+    const double a2 = linalg::dot(predictor_.a_rem.row(i),
+                                  predictor_.a_rem.row(i));
+    q_[i] = prior_var * a2;
+  }
+  base_sigma_ = predictor_.error_sigmas();
+  shift_meas_.assign(predictor_.base.mu_meas.size(), 0.0);
+  shift_rem_.assign(n_rem, 0.0);
+  drift_ref_meas_ = shift_meas_;
+  if (options_.drift_ref_interval == 0) options_.drift_ref_interval = 1;
+  status_.health = StreamHealth::kOk;
+  status_.info_condition = 1.0;  // prior covariance is a scaled identity
+  const AdaptiveGuardband g = adaptive_guardband(
+      base_sigma_, q_, predictor_.base.mu_rem, options_.guard_kappa);
+  status_.guardband = g.eps;
+  publish_telemetry();
+}
+
+void StreamingCalibrator::mark_unusable(std::string why) {
+  status_.health = StreamHealth::kUnusable;
+  status_.message = std::move(why);
+}
+
+void StreamingCalibrator::refresh_shift_cache() {
+  shift_meas_ = linalg::matvec(predictor_.a_meas, b_);
+  shift_rem_ = linalg::matvec(predictor_.a_rem, b_);
+  double norm2 = 0.0;
+  for (double v : b_) norm2 += v * v;
+  status_.shift_norm = std::sqrt(norm2);
+}
+
+void StreamingCalibrator::publish_telemetry() const {
+  util::telemetry::set_gauge("core.stream.drift_score", status_.drift_score);
+  util::telemetry::set_gauge("core.stream.guardband", status_.guardband);
+}
+
+DieRecord StreamingCalibrator::gated(std::size_t die, StreamGate gate,
+                                     RobustPrediction&& rp) {
+  DieRecord rec;
+  rec.die = die;
+  rec.accepted = false;
+  rec.gate = gate;
+  rec.prediction_health = rp.health;
+  rec.predicted = std::move(rp.values);
+  rec.screened_slots = rp.screened.size();
+  rec.missing_slots = rp.missing.size();
+  rec.drift_score = status_.drift_score;
+  rec.drift_flagged = status_.drift_flagged;
+  rec.guardband = status_.guardband;
+  status_.gate_counts[static_cast<std::size_t>(gate)]++;
+  if (quarantine_gate(gate)) {
+    ++status_.dies_quarantined;
+    util::telemetry::count("core.stream.dies_quarantined");
+  } else {
+    ++status_.dies_rejected;
+    util::telemetry::count("core.stream.dies_rejected");
+  }
+  util::telemetry::count(std::string("core.stream.gate.") + to_string(gate));
+  publish_telemetry();
+  return rec;
+}
+
+RobustPrediction StreamingCalibrator::predict(std::span<const double> measured,
+                                              std::span<const char> valid)
+    const {
+  if (!status_.usable() || measured.size() != shift_meas_.size()) {
+    // Graceful degradation: exactly the batch robust predictor (which itself
+    // nominal-falls-back on malformed input).
+    return predictor_.predict(measured, valid);
+  }
+  // Screen and solve against the shift-corrected model, then move the
+  // prediction back: the learned systematic shift relocates the nominal
+  // point of the whole die population.
+  linalg::Vector corrected(measured.begin(), measured.end());
+  for (std::size_t i = 0; i < corrected.size(); ++i) {
+    corrected[i] -= shift_meas_[i];
+  }
+  RobustPrediction rp = predictor_.predict(corrected, valid);
+  for (std::size_t i = 0; i < rp.values.size(); ++i) {
+    rp.values[i] += shift_rem_[i];
+  }
+  return rp;
+}
+
+DieRecord StreamingCalibrator::observe(std::size_t die,
+                                       std::span<const double> measured,
+                                       std::span<const char> valid) {
+  ++status_.dies_seen;
+  if (!status_.usable()) {
+    return gated(die, StreamGate::kStreamUnusable,
+                 predictor_.predict(measured, valid));
+  }
+  const std::size_t n_meas = predictor_.base.mu_meas.size();
+  if (measured.size() != n_meas ||
+      (!valid.empty() && valid.size() != n_meas)) {
+    return gated(die, StreamGate::kSizeMismatch,
+                 predictor_.predict(measured, valid));
+  }
+
+  // Robust screening gate on the shift-corrected measurements.  The gate is
+  // the PR-2 IRLS/Huber calibration: MAD-scaled z-score outlier screening,
+  // missing-slot handling, nominal fallback — reused verbatim.
+  linalg::Vector corrected(measured.begin(), measured.end());
+  for (std::size_t i = 0; i < n_meas; ++i) corrected[i] -= shift_meas_[i];
+  RobustPrediction rp = predictor_.predict(corrected, valid);
+  for (std::size_t i = 0; i < rp.values.size(); ++i) {
+    rp.values[i] += shift_rem_[i];
+  }
+  if (rp.health == PredictorHealth::kFailed) {
+    return gated(die,
+                 rp.missing.size() == n_meas ? StreamGate::kNoUsableSlots
+                                             : StreamGate::kPathologicalSolve,
+                 std::move(rp));
+  }
+
+  // Survivor slots: usable on this die and not screened as outliers.
+  std::vector<char> excluded(n_meas, 0);
+  for (int i : rp.missing) excluded[static_cast<std::size_t>(i)] = 1;
+  for (int i : rp.screened) excluded[static_cast<std::size_t>(i)] = 1;
+  std::vector<int> survivors;
+  survivors.reserve(n_meas);
+  for (std::size_t i = 0; i < n_meas; ++i) {
+    if (!excluded[i]) survivors.push_back(static_cast<int>(i));
+  }
+  const std::size_t usable = n_meas - rp.missing.size();
+  if (survivors.empty() ||
+      (usable > 0 &&
+       static_cast<double>(rp.screened.size()) >
+           options_.max_screened_fraction * static_cast<double>(usable))) {
+    return gated(die, StreamGate::kExcessScreening, std::move(rp));
+  }
+  const std::size_t k = survivors.size();
+
+  // Innovation system on the survivors:
+  //   S = A_v (P/lambda) A_v^T + A_v A_v^T + sigma^2 I,
+  // solved with the reported-ridge robust policy (condest_spd inside).
+  const double inv_lambda = 1.0 / options_.forgetting;
+  const linalg::Matrix a_v = predictor_.a_meas.select_rows(survivors);
+  linalg::Matrix u = linalg::multiply_bt(p_, a_v);  // m x k  (= Pf A_v^T)
+  u *= inv_lambda;
+  linalg::Matrix s = linalg::multiply(a_v, u);      // k x k
+  {
+    const linalg::Matrix r_die =
+        predictor_.gram_meas.select_rows(survivors).select_cols(survivors);
+    s += r_die;
+    const double sigma = predictor_.options.measurement_sigma_ps;
+    for (std::size_t i = 0; i < k; ++i) s(i, i) += sigma * sigma;
+  }
+  linalg::Vector r(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto slot = static_cast<std::size_t>(survivors[j]);
+    r[j] = measured[slot] - predictor_.base.mu_meas[slot] - shift_meas_[slot];
+  }
+  linalg::SpdSolveInfo info;
+  const linalg::Vector w =
+      linalg::spd_solve_robust(s, r, &info, options_.max_condition);
+  if (!info.ok || !all_finite(w)) {
+    return gated(die, StreamGate::kIllConditioned, std::move(rp));
+  }
+
+  // Standardized chi-square innovation: r^T S^{-1} r ~ chi^2_k under the
+  // model, so z = (t - k)/sqrt(2k) ~ approx N(0, 1).  Any persistent model
+  // mismatch — mean shift in any direction, variance growth — inflates t.
+  const double t_stat = linalg::dot(r, w);
+  const double z =
+      (t_stat - static_cast<double>(k)) / std::sqrt(2.0 * static_cast<double>(k));
+  // Whitened coherent-shift statistic: u = r^T S^{-1} 1 / sqrt(1^T S^{-1} 1),
+  // the matched filter for a shift that moves every slot the same way.  A
+  // process shift gives u a persistent mean, die after die; symmetric sensor
+  // noise — even the heavy-tailed outlier mixture — cancels.  The quadratic
+  // z above cannot make that distinction (any variance inflation looks like
+  // drift); u can, so the CUSUM runs on u and z only gates gross outliers.
+  // Whitening with the full S matters: the slots share the die's spatial
+  // parameters, so per-slot normalization would under-weight exactly the
+  // correlated direction a common shift lives in.  Residuals are taken
+  // against the *lagged* shift snapshot: the filter absorbs a genuine shift
+  // within a few dies, which would starve the CUSUM of evidence; against the
+  // snapshot the shift stays visible for a full drift_ref_interval.
+  double u_stat = std::numeric_limits<double>::quiet_NaN();
+  {
+    linalg::SpdSolveInfo ones_info;
+    const linalg::Vector s_inv_ones = linalg::spd_solve_robust(
+        s, linalg::Vector(k, 1.0), &ones_info, options_.max_condition);
+    if (ones_info.ok && all_finite(s_inv_ones)) {
+      double quad = 0.0, proj = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        const auto slot = static_cast<std::size_t>(survivors[j]);
+        const double r_ref = measured[slot] - predictor_.base.mu_meas[slot] -
+                             drift_ref_meas_[slot];
+        quad += s_inv_ones[j];
+        proj += r_ref * s_inv_ones[j];
+      }
+      if (quad > 0.0) u_stat = proj / std::sqrt(quad);
+    }
+  }
+  DieRecord rec;
+  rec.die = die;
+  rec.prediction_health = rp.health;
+  rec.screened_slots = rp.screened.size();
+  rec.missing_slots = rp.missing.size();
+  rec.innovation_z = z;
+
+  // Drift monitor.  During warmup the observed u_stat values calibrate a
+  // median/MAD baseline; once armed, the CUSUM runs on the clipped deviation
+  // from that baseline.  It sees gated-but-measurable dies too, so a gross
+  // persistent shift cannot hide behind the per-die gate.
+  if (std::isfinite(u_stat)) {
+    if (!drift_armed_) {
+      drift_warmup_.push_back(u_stat);
+      if (drift_warmup_.size() >= options_.min_dies_for_drift) {
+        drift_mu0_ = median_of(drift_warmup_);
+        linalg::Vector dev = drift_warmup_;
+        for (double& d : dev) d = std::abs(d - drift_mu0_);
+        // MAD -> sigma, floored at the theoretical unit sigma: an over-quiet
+        // warmup must not make the monitor trigger-happy.
+        drift_sd0_ = std::max(1.4826 * median_of(std::move(dev)), 1.0);
+        drift_var0_ = drift_sd0_ * drift_sd0_;
+        drift_armed_ = true;
+        drift_warmup_.clear();
+        drift_warmup_.shrink_to_fit();
+      }
+    } else {
+      const double u_std = (u_stat - drift_mu0_) / drift_sd0_;
+      const double uc =
+          std::clamp(u_std, -options_.cusum_clip, options_.cusum_clip);
+      cusum_pos_ = std::max(0.0, cusum_pos_ + uc - options_.cusum_k);
+      cusum_neg_ = std::max(0.0, cusum_neg_ - uc - options_.cusum_k);
+      status_.drift_score = std::max(cusum_pos_, cusum_neg_);
+      // Robust EWMA baseline tracking (see StreamingOptions::baseline_adapt):
+      // in-control deviations update the baseline slowly; adaptation freezes
+      // on any single step beyond 3 baseline sigmas AND whenever the CUSUM
+      // is past half its threshold — a suspect shift must finish
+      // accumulating into the score, not be learned into the baseline.
+      if (options_.baseline_adapt > 0.0 && std::abs(u_std) < 3.0 &&
+          status_.drift_score <= 0.5 * options_.cusum_h) {
+        const double a = options_.baseline_adapt;
+        drift_mu0_ += a * (u_stat - drift_mu0_);
+        const double dev = u_stat - drift_mu0_;
+        drift_var0_ += a * (dev * dev - drift_var0_);
+        drift_sd0_ = std::max(std::sqrt(drift_var0_), 1.0);
+      }
+      if (status_.drift_score > options_.cusum_h && !status_.drift_flagged) {
+        status_.drift_flagged = true;
+        status_.drift_flag_die = die;
+        if (status_.health == StreamHealth::kOk) {
+          status_.health = StreamHealth::kDegraded;
+        }
+        status_.message = "drift flagged at die " + std::to_string(die) +
+                          " (CUSUM " + std::to_string(status_.drift_score) +
+                          ")";
+        util::telemetry::count("core.stream.drift_flags");
+      }
+    }
+  }
+  if (!std::isfinite(z) || !std::isfinite(u_stat) ||
+      std::abs(z) > options_.innovation_z_max) {
+    DieRecord out = gated(die, StreamGate::kInnovationOutlier, std::move(rp));
+    out.innovation_z = z;
+    return out;
+  }
+
+  // Commit the Kalman/RLS update.  One k x (m + n_rem) solve prices both the
+  // covariance downdate (S^{-1} U^T) and the per-path variance downdate
+  // (S^{-1} V^T with V = A_rem U) off the same factorization policy.
+  const std::size_t n_rem = predictor_.a_rem.rows();
+  const linalg::Matrix v = linalg::multiply(predictor_.a_rem, u);  // n_rem x k
+  linalg::Matrix rhs(k, m_ + n_rem);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < m_; ++j) rhs(i, j) = u(j, i);
+    for (std::size_t j = 0; j < n_rem; ++j) rhs(i, m_ + j) = v(j, i);
+  }
+  linalg::SpdSolveInfo info2;
+  const linalg::Matrix x =
+      linalg::spd_solve_robust(s, rhs, &info2, options_.max_condition);
+  if (!info2.ok) {
+    return gated(die, StreamGate::kIllConditioned, std::move(rp));
+  }
+  // b <- b + U w.
+  const linalg::Vector db = linalg::matvec(u, w);
+  for (std::size_t i = 0; i < m_; ++i) b_[i] += db[i];
+  // P <- P/lambda - U X_left, then symmetrize against drift of the two
+  // triangles (X_left = S^{-1} U^T).
+  if (inv_lambda != 1.0) p_ *= inv_lambda;
+  for (std::size_t i = 0; i < m_; ++i) {
+    const double* urow = u.row(i).data();
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (std::size_t l = 0; l < k; ++l) acc += urow[l] * x(l, j);
+      const double val = 0.5 * (p_(i, j) + p_(j, i)) - acc;
+      p_(i, j) = val;
+      p_(j, i) = val;
+    }
+  }
+  // q_i <- q_i/lambda - v_i^T S^{-1} v_i, clamped against roundoff.
+  for (std::size_t i = 0; i < n_rem; ++i) {
+    double acc = 0.0;
+    for (std::size_t l = 0; l < k; ++l) acc += v(i, l) * x(l, m_ + i);
+    q_[i] = std::max(0.0, q_[i] * inv_lambda - acc);
+  }
+
+  // A non-finite posterior means the stream state is lost for good: latch
+  // unusable so predictions degrade to the batch robust predictor.
+  bool finite = all_finite(b_) && all_finite(q_);
+  for (std::size_t i = 0; finite && i < m_; ++i) {
+    if (!std::isfinite(p_(i, i))) finite = false;
+  }
+  if (!finite) {
+    mark_unusable("non-finite posterior after die " + std::to_string(die));
+    DieRecord out = gated(die, StreamGate::kIllConditioned, std::move(rp));
+    out.innovation_z = z;
+    return out;
+  }
+
+  const bool ridged = info.regularized || info2.regularized;
+  if (ridged) {
+    rec.ridge = std::max(info.ridge, info2.ridge);
+    status_.last_ridge = rec.ridge;
+    ++status_.ridge_events;
+    if (status_.health == StreamHealth::kOk) {
+      status_.health = StreamHealth::kDegraded;
+      status_.message = "innovation system ill-conditioned at die " +
+                        std::to_string(die) + "; ridge " +
+                        std::to_string(rec.ridge) + " applied";
+    }
+  }
+
+  rec.accepted = true;
+  ++status_.dies_accepted;
+  util::telemetry::count("core.stream.dies_accepted");
+  refresh_shift_cache();
+  if (++drift_ref_age_ >= options_.drift_ref_interval) {
+    // Hold the snapshot while the CUSUM is elevated: refreshing would fold
+    // the filter's partial adaptation of the suspect shift into the
+    // reference and wipe the accumulating evidence.  Only an at-rest score
+    // (or a latched flag) refreshes; on a clean stream the score touches
+    // zero every few dies, so staleness stays bounded in practice.
+    if (status_.drift_score <= 2.0 * options_.cusum_k ||
+        status_.drift_flagged) {
+      drift_ref_age_ = 0;
+      drift_ref_meas_ = shift_meas_;
+    }
+  }
+
+  // Periodic posterior-conditioning audit: a collapsed covariance gets a
+  // reported diagonal floor (and q stays consistent with P).
+  if (++accepted_since_check_ >= options_.condition_check_interval) {
+    accepted_since_check_ = 0;
+    status_.info_condition = linalg::condest_spd(p_);
+    if (!(status_.info_condition <= options_.max_condition)) {
+      double max_diag = 0.0;
+      for (std::size_t i = 0; i < m_; ++i) {
+        max_diag = std::max(max_diag, std::abs(p_(i, i)));
+      }
+      const double floor =
+          std::max(max_diag / options_.max_condition, 1e-300) * 10.0;
+      for (std::size_t i = 0; i < m_; ++i) p_(i, i) += floor;
+      for (std::size_t i = 0; i < n_rem; ++i) {
+        const double a2 = linalg::dot(predictor_.a_rem.row(i),
+                                      predictor_.a_rem.row(i));
+        q_[i] += floor * a2;
+      }
+      status_.last_ridge = floor;
+      ++status_.ridge_events;
+      if (status_.health == StreamHealth::kOk) {
+        status_.health = StreamHealth::kDegraded;
+      }
+      status_.message = "posterior covariance floored (condest " +
+                        std::to_string(status_.info_condition) + ")";
+      util::telemetry::count("core.stream.covariance_floors");
+    }
+  }
+
+  const AdaptiveGuardband g = adaptive_guardband(
+      base_sigma_, q_, predictor_.base.mu_rem, options_.guard_kappa);
+  status_.guardband = g.eps;
+
+  rec.predicted = std::move(rp.values);
+  rec.drift_score = status_.drift_score;
+  rec.drift_flagged = status_.drift_score > options_.cusum_h;
+  rec.guardband = status_.guardband;
+  status_.gate_counts[static_cast<std::size_t>(StreamGate::kNone)]++;
+  publish_telemetry();
+  return rec;
+}
+
+}  // namespace repro::core

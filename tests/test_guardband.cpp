@@ -114,6 +114,38 @@ TEST(Guardband, ZeroGuardbandFlagsOnlyPredictedFails) {
   EXPECT_EQ(rep.flagged, rep.true_fails);
 }
 
+TEST(AdaptiveGuardband, CombinesBaseAndShiftAndShrinksWithInformation) {
+  const std::vector<double> base = {3.0, 4.0};
+  const std::vector<double> mu = {100.0, 200.0};
+  const double kappa = 3.0;
+
+  // No shift variance: reduces to the batch analytic guard-band.
+  const AdaptiveGuardband batch =
+      adaptive_guardband(base, std::vector<double>{0.0, 0.0}, mu, kappa);
+  EXPECT_NEAR(batch.eps, 0.5 * (kappa * 3.0 / 100.0 + kappa * 4.0 / 200.0),
+              1e-12);
+  EXPECT_NEAR(batch.max_eps, kappa * 3.0 / 100.0, 1e-12);
+  EXPECT_DOUBLE_EQ(batch.shift_share, 0.0);
+
+  // 3-4-5: sigma_0 = sqrt(3^2 + 4^2) = 5.
+  const AdaptiveGuardband wide =
+      adaptive_guardband(base, std::vector<double>{16.0, 9.0}, mu, kappa);
+  EXPECT_NEAR(wide.max_eps, kappa * 5.0 / 100.0, 1e-12);
+  EXPECT_GT(wide.eps, batch.eps);
+  EXPECT_GT(wide.shift_share, 0.0);
+
+  // Shrinking q (an accepted die) can only tighten the band.
+  const AdaptiveGuardband tighter =
+      adaptive_guardband(base, std::vector<double>{4.0, 1.0}, mu, kappa);
+  EXPECT_LT(tighter.eps, wide.eps);
+  EXPECT_GE(tighter.eps, batch.eps);
+
+  // Empty inputs yield a zero guard-band, not a divide-by-zero.
+  const AdaptiveGuardband empty = adaptive_guardband({}, {}, {}, kappa);
+  EXPECT_DOUBLE_EQ(empty.eps, 0.0);
+  EXPECT_DOUBLE_EQ(empty.max_eps, 0.0);
+}
+
 TEST(Guardband, SizeMismatchThrows) {
   Fixture f;
   const SubsetSelector selector(f.model->a());

@@ -14,6 +14,7 @@
 #include "linalg/gemm.h"
 #include "timing/segments.h"
 #include "util/rng.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 #include "variation/variation_model.h"
 
@@ -419,6 +420,88 @@ TEST(FaultyMonteCarlo, DeadRepPathDegradesGracefully) {
   EXPECT_EQ(m.failed_dies, 0u);
   EXPECT_GT(m.metrics.e1, 0.0);
   EXPECT_LT(m.metrics.e1, 1.0);  // still a sane predictor, not garbage
+}
+
+TEST(FaultyMonteCarlo, PerFaultModeBreakdownSplitsRejections) {
+  Fixture f;
+  FaultyMcOptions opt;
+  opt.mc.samples = 256;
+  opt.mc.seed = 5;
+  opt.faults.noise_sigma_frac = 0.01;
+  opt.faults.outlier_rate = 0.1;
+  opt.faults.dropout_rate = 0.1;
+  opt.faults.dead_slots = {0};
+  // Build against the un-stripped schedule: slot 0 stays in the measurement
+  // vector and is killed on every die, so mean_dead must be exactly 1.
+  const RobustPredictor p = fixture_predictor(f, 8, opt.faults);
+  ASSERT_TRUE(p.status.usable());
+
+  util::telemetry::reset();
+  const FaultyMcMetrics m = evaluate_predictor_under_faults(*f.model, p, opt);
+  EXPECT_DOUBLE_EQ(m.mean_dead, 1.0);
+  EXPECT_GT(m.mean_dropout, 0.0);
+  // The per-mode splits tile the aggregates they refine.
+  EXPECT_NEAR(m.mean_missing, m.mean_dead + m.mean_dropout, 1e-12);
+  EXPECT_NEAR(m.mean_screened,
+              m.mean_screened_outlier + m.mean_screened_noise, 1e-12);
+  // 10x-sigma injected outliers, not plain sensor noise, dominate screening.
+  EXPECT_GT(m.mean_screened_outlier, m.mean_screened_noise);
+
+  // Telemetry mirrors the same per-mode counts (summed over dies).
+  const auto snap = util::telemetry::snapshot();
+  auto counter = [&](const std::string& name) -> double {
+    for (const auto& c : snap.counters) {
+      if (c.name == name) return static_cast<double>(c.value);
+    }
+    return -1.0;
+  };
+  const double n = static_cast<double>(opt.mc.samples);
+  EXPECT_NEAR(counter("core.mc.reject_outlier"),
+              m.mean_screened_outlier * n, 0.5);
+  EXPECT_NEAR(counter("core.mc.reject_noise"),
+              m.mean_screened_noise * n, 0.5);
+  EXPECT_NEAR(counter("core.mc.slots_dead"), m.mean_dead * n, 0.5);
+  EXPECT_NEAR(counter("core.mc.slots_dropout"), m.mean_dropout * n, 0.5);
+}
+
+TEST(FaultyMonteCarlo, AllSlotsDeadOrDroppedGivesStructuredFailure) {
+  // Regression: a die with no usable slot must surface as a structured
+  // failed prediction (nominal fallback + full missing list), never as a
+  // degenerate zero-size solve.
+  Fixture f;
+  FaultyMcOptions opt;
+  opt.mc.samples = 32;
+  opt.mc.seed = 9;
+  const RobustPredictor p = fixture_predictor(f, 8, opt.faults);
+  ASSERT_TRUE(p.status.usable());
+  const std::size_t n_meas = p.base.mu_meas.size();
+  for (std::size_t i = 0; i < n_meas; ++i) {
+    opt.faults.dead_slots.push_back(static_cast<int>(i));
+  }
+
+  // Die-level contract via the fault injector itself.
+  const NoisyMeasurements nm =
+      apply_faults(p.base.mu_meas, p.base.mu_meas, opt.faults, 0);
+  EXPECT_EQ(static_cast<std::size_t>(nm.dead), n_meas);
+  const RobustPrediction rp = p.predict(nm.values, nm.valid);
+  EXPECT_EQ(rp.health, PredictorHealth::kFailed);
+  EXPECT_EQ(rp.missing.size(), n_meas);
+  for (double v : rp.values) EXPECT_TRUE(std::isfinite(v));
+
+  // Evaluation-level contract: every die fails, metrics stay finite.
+  FaultyMcMetrics m;
+  EXPECT_NO_THROW(m = evaluate_predictor_under_faults(*f.model, p, opt));
+  EXPECT_EQ(m.failed_dies, opt.mc.samples);
+  EXPECT_DOUBLE_EQ(m.mean_dead, static_cast<double>(n_meas));
+  EXPECT_TRUE(std::isfinite(m.metrics.e1));
+
+  // Same through per-die dropout instead of the static dead list.
+  FaultyMcOptions drop;
+  drop.mc.samples = 32;
+  drop.faults.dropout_rate = 1.0;
+  EXPECT_NO_THROW(m = evaluate_predictor_under_faults(*f.model, p, drop));
+  EXPECT_EQ(m.failed_dies, drop.mc.samples);
+  EXPECT_DOUBLE_EQ(m.mean_dropout, static_cast<double>(n_meas));
 }
 
 TEST(FaultyMonteCarlo, NoLinalgEscapeOnPathologicalInputs) {

@@ -156,6 +156,59 @@ TEST(SpdSolveRobust, NonFiniteInputFailsWithoutThrowing) {
   EXPECT_FALSE(info.ok);
 }
 
+// Streaming-covariance collapse: repeated measurement downdates
+//   P <- P - (1 - eps) (P v)(P v)^T / (v^T P v)
+// each shrink the P-weighted direction v to eps of its prior size — the way
+// a streaming information matrix degenerates after absorbing many
+// near-duplicate dies.  After rank(P)-1 downdates the spectrum spans ~1/eps.
+Matrix collapse_by_rank_one_downdates(std::size_t n, double eps,
+                                      std::size_t steps) {
+  Matrix p = Matrix::identity(n);
+  for (std::size_t t = 0; t < steps; ++t) {
+    Vector v(n, 0.0);
+    v[t] = 1.0;
+    v[(t + 1) % n] = 0.5;  // off-axis so the downdates couple coordinates
+    Vector pv(n, 0.0);
+    double alpha = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) pv[i] += p(i, j) * v[j];
+      alpha += v[i] * pv[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        p(i, j) -= (1.0 - eps) * pv[i] * pv[j] / alpha;
+      }
+    }
+  }
+  return p;
+}
+
+TEST(Condest, RankOneDowndateCollapseIsTracked) {
+  // The estimate must grow with every collapsed direction, ending far above
+  // the robust-solve regularization threshold.
+  double prev = condest_spd(Matrix::identity(6));
+  EXPECT_NEAR(prev, 1.0, 1e-12);
+  for (std::size_t steps = 1; steps + 1 < 6; ++steps) {
+    const Matrix collapsed = collapse_by_rank_one_downdates(6, 1e-14, steps);
+    const double c = condest_spd(collapsed);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_GE(prev, 1e12);
+}
+
+TEST(SpdSolveRobust, CollapsedInformationMatrixTakesReportedRidgePath) {
+  const Matrix p = collapse_by_rank_one_downdates(6, 1e-15, 5);
+  Vector b(6, 1.0);
+  SpdSolveInfo info;
+  const Vector x = spd_solve_robust(p, b, &info);
+  EXPECT_TRUE(info.ok);
+  EXPECT_TRUE(info.regularized);   // the ridge path engaged...
+  EXPECT_GT(info.ridge, 0.0);      // ...and reported its strength
+  EXPECT_GT(info.condition, 1e12); // original system was numerically singular
+  for (double xi : x) EXPECT_TRUE(std::isfinite(xi));
+}
+
 TEST(SpdSolveRobust, VectorOverloadMatchesMatrix) {
   const Matrix s = gram(random_matrix(5, 7, 27));
   Vector b(5);

@@ -1,0 +1,400 @@
+#include "core/streaming_calibrator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "circuit/generator.h"
+#include "circuit/placement.h"
+#include "core/monte_carlo.h"
+#include "core/subset_select.h"
+#include "linalg/gemm.h"
+#include "linalg/solve.h"
+#include "timing/segments.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "variation/variation_model.h"
+
+namespace repro::core {
+namespace {
+
+linalg::Matrix random_matrix(std::size_t r, std::size_t c,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  linalg::Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.normal();
+  }
+  return m;
+}
+
+// Synthetic-model helpers: a small path/parameter system with a known
+// systematic shift, so convergence is checkable against ground truth.
+struct Synthetic {
+  linalg::Matrix a;
+  linalg::Vector mu;
+  RobustPredictor predictor;
+
+  Synthetic(std::size_t n_paths, std::size_t m, std::size_t n_rep,
+            std::uint64_t seed)
+      : a(random_matrix(n_paths, m, seed)), mu(n_paths, 500.0) {
+    std::vector<int> rep;
+    for (std::size_t i = 0; i < n_rep; ++i) rep.push_back(static_cast<int>(i));
+    RobustOptions opt;
+    opt.measurement_sigma_ps = 1.0;
+    predictor = make_robust_path_predictor(a, mu, rep, {}, opt);
+  }
+
+  // Measured-slot delays of die `die` whose parameters are shift + v,
+  // v ~ N(0, I) from the die's own stream.
+  linalg::Vector die_measurements(std::uint64_t die,
+                                  std::span<const double> shift) const {
+    util::Rng rng = util::Rng::stream(0xd1e5, die);
+    linalg::Vector x(a.cols());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = rng.normal() + (shift.empty() ? 0.0 : shift[i]);
+    }
+    const auto& meas = predictor.base.measured_paths;
+    linalg::Vector y(meas.size());
+    for (std::size_t k = 0; k < meas.size(); ++k) {
+      const auto p = static_cast<std::size_t>(meas[k]);
+      y[k] = mu[p] + linalg::dot(a.row(p), x);
+    }
+    return y;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Failure contract: never throws, structured degradation.
+// ---------------------------------------------------------------------------
+
+TEST(StreamingCalibrator, UnusableBatchPredictorMakesUnusableStream) {
+  const linalg::Matrix a = random_matrix(6, 10, 21);
+  const linalg::Vector mu(6, 100.0);
+  const RobustPredictor failed = make_robust_path_predictor(a, mu, {});
+  ASSERT_FALSE(failed.status.usable());
+
+  StreamingCalibrator cal(failed);
+  EXPECT_EQ(cal.status().health, StreamHealth::kUnusable);
+  EXPECT_FALSE(cal.status().message.empty());
+
+  // Every die quarantines with a structured gate; predictions are the batch
+  // predictor's nominal fallback.  No throw anywhere.
+  const linalg::Vector meas(3, 100.0);
+  DieRecord rec;
+  EXPECT_NO_THROW(rec = cal.observe(0, meas));
+  EXPECT_FALSE(rec.accepted);
+  EXPECT_EQ(rec.gate, StreamGate::kStreamUnusable);
+  EXPECT_EQ(cal.status().dies_quarantined, 1u);
+  const RobustPrediction pr = cal.predict(meas);
+  EXPECT_EQ(pr.health, PredictorHealth::kFailed);
+}
+
+TEST(StreamingCalibrator, MalformedDiesQuarantineWithStructuredReason) {
+  Synthetic s(20, 12, 5, 22);
+  ASSERT_TRUE(s.predictor.status.usable());
+  StreamingCalibrator cal(s.predictor);
+  ASSERT_EQ(cal.status().health, StreamHealth::kOk);
+
+  // Wrong measurement count.
+  DieRecord rec = cal.observe(0, linalg::Vector{1.0, 2.0});
+  EXPECT_EQ(rec.gate, StreamGate::kSizeMismatch);
+  // All slots invalid on this die.
+  const linalg::Vector meas = s.die_measurements(0, {});
+  const std::vector<char> none(meas.size(), 0);
+  rec = cal.observe(1, meas, none);
+  EXPECT_FALSE(rec.accepted);
+  EXPECT_EQ(rec.gate, StreamGate::kNoUsableSlots);
+  // All-NaN measurements.
+  const linalg::Vector nans(meas.size(),
+                            std::numeric_limits<double>::quiet_NaN());
+  EXPECT_NO_THROW(rec = cal.observe(2, nans));
+  EXPECT_FALSE(rec.accepted);
+
+  EXPECT_EQ(cal.status().dies_seen, 3u);
+  EXPECT_EQ(cal.status().dies_accepted, 0u);
+  EXPECT_EQ(cal.status().dies_quarantined +
+                cal.status().dies_rejected, 3u);
+  // Gated dies leave the state untouched.
+  EXPECT_EQ(cal.status().shift_norm, 0.0);
+
+  // A sane die afterwards still updates: the stream survived the faults.
+  rec = cal.observe(3, s.die_measurements(3, {}));
+  EXPECT_TRUE(rec.accepted);
+  EXPECT_EQ(cal.status().dies_accepted, 1u);
+}
+
+TEST(StreamingCalibrator, GrossWholeDieOutlierIsRejectedNotAbsorbed) {
+  Synthetic s(24, 14, 6, 23);
+  StreamingCalibrator cal(s.predictor);
+  for (std::uint64_t die = 0; die < 20; ++die) {
+    cal.observe(die, s.die_measurements(die, {}));
+  }
+  const double shift_before = cal.status().shift_norm;
+  // A die whose every slot reads absurdly high (tester meltdown): either the
+  // robust screening or the whole-die innovation gate must reject it.
+  linalg::Vector bad = s.die_measurements(20, {});
+  for (double& v : bad) v += 3000.0;
+  const DieRecord rec = cal.observe(20, bad);
+  EXPECT_FALSE(rec.accepted);
+  EXPECT_TRUE(rec.gate == StreamGate::kExcessScreening ||
+              rec.gate == StreamGate::kInnovationOutlier);
+  // The rejected die did not move the state.
+  EXPECT_EQ(cal.status().shift_norm, shift_before);
+}
+
+// ---------------------------------------------------------------------------
+// Clean-stream behavior: acceptance, guard-band monotonicity, no drift flag.
+// ---------------------------------------------------------------------------
+
+TEST(StreamingCalibrator, CleanStreamTightensGuardbandMonotonically) {
+  Synthetic s(30, 16, 6, 24);
+  StreamingCalibrator cal(s.predictor);
+  const double initial = cal.guardband();
+  ASSERT_GT(initial, 0.0);
+
+  double prev = initial;
+  std::size_t accepted = 0;
+  for (std::uint64_t die = 0; die < 120; ++die) {
+    const DieRecord rec = cal.observe(die, s.die_measurements(die, {}));
+    // Non-inflating at every die (gated dies keep the previous value).
+    EXPECT_LE(rec.guardband, prev + 1e-12);
+    prev = rec.guardband;
+    if (rec.accepted) ++accepted;
+  }
+  EXPECT_GT(accepted, 100u);  // the gate passes a clean stream
+  EXPECT_LT(cal.guardband(), 0.95 * initial);  // and information accumulated
+  EXPECT_FALSE(cal.status().drift_flagged);
+  EXPECT_EQ(cal.status().drift_flag_die, kNoDie);
+  // Posterior variances stay non-negative.
+  for (double q : cal.shift_variance()) EXPECT_GE(q, 0.0);
+}
+
+TEST(StreamingCalibrator, LearnsTheMeasurableImageOfASystematicShift) {
+  Synthetic s(30, 16, 6, 25);
+  StreamingCalibrator cal(s.predictor);
+
+  // Common-mode systematic shift of one sigma total.
+  const std::size_t m = s.a.cols();
+  linalg::Vector shift(m, 1.0 / std::sqrt(static_cast<double>(m)));
+  for (std::uint64_t die = 0; die < 300; ++die) {
+    cal.observe(die, s.die_measurements(die, shift));
+  }
+  EXPECT_GT(cal.status().dies_accepted, 200u);
+  EXPECT_GT(cal.status().shift_norm, 0.0);
+
+  // The shift is only identifiable through the measured rows: compare images
+  // under A_meas, not the raw parameter vectors.
+  const linalg::Vector want = linalg::matvec(s.predictor.a_meas, shift);
+  const linalg::Vector got = linalg::matvec(s.predictor.a_meas, cal.shift());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    num += (got[i] - want[i]) * (got[i] - want[i]);
+    den += want[i] * want[i];
+  }
+  ASSERT_GT(den, 0.0);
+  EXPECT_LT(std::sqrt(num / den), 0.35);
+}
+
+// ---------------------------------------------------------------------------
+// Drift detection: flags an injected shift, quiet on a clean stream.
+// ---------------------------------------------------------------------------
+
+TEST(StreamingCalibrator, CusumFlagsInjectedShiftQuietOnClean) {
+  Synthetic s(30, 16, 6, 26);
+
+  // Clean stream: no flag over a long run.
+  StreamingCalibrator clean(s.predictor);
+  for (std::uint64_t die = 0; die < 200; ++die) {
+    clean.observe(die, s.die_measurements(die, {}));
+  }
+  EXPECT_FALSE(clean.status().drift_flagged);
+
+  // Same stream with a mid-stream coherent shift: flagged, and quickly.  The
+  // detector targets drift whose measurable image moves all slots the same
+  // way (a fab excursion raises every delay), so inject the min-norm
+  // parameter shift whose image is a uniform +6ps per measured slot.  A
+  // common-mode *parameter* shift of this random Gaussian A would have a
+  // sign-random image — coherent noise the detector rightly ignores.
+  StreamingCalibrator drifted(s.predictor);
+  const std::size_t start = 100;
+  const linalg::Matrix g = linalg::gram(s.predictor.a_meas);
+  linalg::Vector ones(g.rows(), 6.0);
+  linalg::SpdSolveInfo info;
+  const linalg::Vector w = linalg::spd_solve_robust(g, ones, &info);
+  ASSERT_TRUE(info.ok);
+  linalg::Vector shift(s.a.cols(), 0.0);
+  for (std::size_t j = 0; j < g.rows(); ++j) {
+    const auto row = s.predictor.a_meas.row(j);
+    for (std::size_t i = 0; i < shift.size(); ++i) {
+      shift[i] += row[i] * w[j];
+    }
+  }
+  for (std::uint64_t die = 0; die < 200; ++die) {
+    drifted.observe(
+        die, s.die_measurements(die, die >= start ? std::span<const double>(shift)
+                                                  : std::span<const double>()));
+  }
+  EXPECT_TRUE(drifted.status().drift_flagged);
+  ASSERT_NE(drifted.status().drift_flag_die, kNoDie);
+  EXPECT_GE(drifted.status().drift_flag_die, start);
+  EXPECT_LE(drifted.status().drift_flag_die, start + 50);
+  EXPECT_GT(drifted.status().drift_score, clean.status().drift_score);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming Monte-Carlo evaluation: determinism and batch parity.
+// ---------------------------------------------------------------------------
+
+struct Fixture {
+  circuit::Netlist nl;
+  circuit::GateLibrary lib;
+  std::unique_ptr<timing::TimingGraph> tg;
+  std::vector<timing::Path> paths;
+  timing::SegmentDecomposition dec;
+  std::unique_ptr<variation::SpatialModel> spatial;
+  std::unique_ptr<variation::VariationModel> model;
+
+  explicit Fixture(std::size_t max_paths = 80)
+      : nl(circuit::generate_benchmark("s1196")) {
+    circuit::place(nl);
+    tg = std::make_unique<timing::TimingGraph>(nl, lib);
+    paths = timing::enumerate_worst_paths(*tg, {.max_paths = max_paths});
+    dec = timing::extract_segments(nl, paths);
+    spatial = std::make_unique<variation::SpatialModel>(3);
+    model = std::make_unique<variation::VariationModel>(
+        *tg, *spatial, paths, dec, variation::VariationOptions{});
+  }
+};
+
+RobustPredictor fixture_predictor(const Fixture& f, std::size_t n_rep,
+                                  const FaultSpec& spec) {
+  const SubsetSelector sel(f.model->a());
+  const auto order = sel.select(std::min(sel.rank(), n_rep + 8));
+  std::vector<int> rep(order.begin(),
+                       order.begin() + static_cast<std::ptrdiff_t>(
+                                           std::min(n_rep, order.size())));
+  RobustOptions opt;
+  opt.backup_order = order;
+  opt.measurement_sigma_ps = expected_noise_sigma(spec, f.model->mu_paths());
+  return make_robust_path_predictor(f.model->a(), f.model->mu_paths(), rep,
+                                    {}, opt);
+}
+
+TEST(StreamingMonteCarlo, BitIdenticalAcrossThreadCounts) {
+  Fixture f;
+  StreamingMcOptions opt;
+  opt.mc.samples = 200;
+  opt.mc.chunk = 32;
+  opt.mc.seed = 321;
+  opt.faults = without_dead_slots(default_fault_spec());
+  opt.block = 64;  // several parallel generation blocks
+  opt.drift.start_die = 120;
+  opt.drift.magnitude = 2.0;
+  const RobustPredictor p = fixture_predictor(f, 8, opt.faults);
+  ASSERT_TRUE(p.status.usable());
+
+  const std::size_t saved_threads = util::thread_count();
+  std::vector<StreamingMcMetrics> runs;
+  for (std::size_t nt : {1u, 4u, 8u}) {
+    util::set_threads(nt);
+    runs.push_back(evaluate_predictor_streaming(*f.model, p, opt));
+  }
+  util::set_threads(saved_threads);
+  for (std::size_t k = 1; k < runs.size(); ++k) {
+    // Exact equality: per-die RNG streams written to die-indexed staging,
+    // sequential calibration pass in strict die order.
+    EXPECT_EQ(runs[0].metrics.e1, runs[k].metrics.e1);
+    EXPECT_EQ(runs[0].metrics.e2, runs[k].metrics.e2);
+    EXPECT_EQ(runs[0].status.dies_accepted, runs[k].status.dies_accepted);
+    EXPECT_EQ(runs[0].status.dies_rejected, runs[k].status.dies_rejected);
+    EXPECT_EQ(runs[0].status.drift_score, runs[k].status.drift_score);
+    EXPECT_EQ(runs[0].drift_flag_die, runs[k].drift_flag_die);
+    EXPECT_EQ(runs[0].final_guardband, runs[k].final_guardband);
+    ASSERT_EQ(runs[0].guardband_trajectory.size(),
+              runs[k].guardband_trajectory.size());
+    for (std::size_t i = 0; i < runs[0].guardband_trajectory.size(); ++i) {
+      EXPECT_EQ(runs[0].guardband_trajectory[i],
+                runs[k].guardband_trajectory[i]);
+      EXPECT_EQ(runs[0].drift_trajectory[i], runs[k].drift_trajectory[i]);
+    }
+  }
+}
+
+TEST(StreamingMonteCarlo, CleanStreamMatchesBatchWithinTolerance) {
+  Fixture f;
+  FaultyMcOptions batch_opt;
+  batch_opt.mc.samples = 300;
+  batch_opt.mc.seed = 99;
+  batch_opt.faults = without_dead_slots(default_fault_spec());
+  const RobustPredictor p = fixture_predictor(f, 8, batch_opt.faults);
+  ASSERT_TRUE(p.status.usable());
+  const FaultyMcMetrics batch =
+      evaluate_predictor_under_faults(*f.model, p, batch_opt);
+
+  StreamingMcOptions opt;
+  opt.mc = batch_opt.mc;  // same dies, same fault schedules
+  opt.faults = batch_opt.faults;
+  const StreamingMcMetrics stream =
+      evaluate_predictor_streaming(*f.model, p, opt);
+
+  // The acceptance bound from ISSUE 7: streaming e1 within 1.1x of batch on
+  // the clean (drift-free) stream, guard-band monotone, no drift flag.
+  ASSERT_GT(batch.metrics.e1, 0.0);
+  EXPECT_LE(stream.metrics.e1, 1.1 * batch.metrics.e1);
+  EXPECT_TRUE(stream.guardband_monotone);
+  EXPECT_LT(stream.final_guardband, stream.initial_guardband);
+  EXPECT_FALSE(stream.status.drift_flagged);
+  EXPECT_GT(stream.status.dies_accepted, opt.mc.samples / 2);
+}
+
+TEST(StreamingMonteCarlo, InjectedDriftIsFlaggedWithinBudget) {
+  Fixture f;
+  StreamingMcOptions opt;
+  opt.mc.samples = 300;
+  opt.mc.seed = 7;
+  opt.faults = without_dead_slots(default_fault_spec());
+  opt.drift.start_die = 150;
+  opt.drift.magnitude = 3.0;
+  const RobustPredictor p = fixture_predictor(f, 8, opt.faults);
+  ASSERT_TRUE(p.status.usable());
+
+  const StreamingMcMetrics m = evaluate_predictor_streaming(*f.model, p, opt);
+  EXPECT_TRUE(m.status.drift_flagged);
+  ASSERT_NE(m.drift_flag_die, kNoDie);
+  EXPECT_GE(m.drift_flag_die, opt.drift.start_die);
+  EXPECT_LE(m.drift_flag_die, opt.drift.start_die + 60);
+  ASSERT_EQ(m.drift_trajectory.size(), opt.mc.samples);
+  // The CUSUM was quiet before the shift started.
+  double pre = 0.0;
+  for (std::size_t i = 0; i < opt.drift.start_die; ++i) {
+    pre = std::max(pre, m.drift_trajectory[i]);
+  }
+  EXPECT_LT(pre, opt.stream.cusum_h);
+}
+
+TEST(StreamingMonteCarlo, DegenerateInputsAreDefined) {
+  Fixture f(20);
+  const RobustPredictor failed =
+      make_robust_path_predictor(f.model->a(), f.model->mu_paths(), {});
+  StreamingMcOptions opt;
+  opt.mc.samples = 20;
+  StreamingMcMetrics m;
+  EXPECT_NO_THROW(m = evaluate_predictor_streaming(*f.model, failed, opt));
+  EXPECT_EQ(m.status.health, StreamHealth::kUnusable);
+  EXPECT_EQ(m.metrics.e1, 0.0);
+
+  const SubsetSelector sel(f.model->a());
+  const RobustPredictor p = make_robust_path_predictor(
+      f.model->a(), f.model->mu_paths(), sel.select(4));
+  opt.mc.samples = 0;
+  EXPECT_NO_THROW(m = evaluate_predictor_streaming(*f.model, p, opt));
+  EXPECT_EQ(m.metrics.samples, 0u);
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -37,6 +37,10 @@ REQUIRED_METRICS = {
                 "trsm_gflops", "trsm_peak_fraction",
                 "gemm_speedup_vs_scalar", "syrk_speedup_vs_scalar",
                 "trsm_speedup_vs_scalar"),
+    "streaming": ("streaming_e1", "batch_e1", "e1_ratio", "e1_ratio_budget",
+                  "guardband_monotone", "clean_false_alarms",
+                  "drift_detected", "drift_latency_dies",
+                  "drift_budget_dies"),
 }
 # Perf-regression gate: minimum dispatched-tier-over-scalar speedups, keyed
 # by bench.  Ratios cancel the runner's clock, so the floors hold on any
@@ -94,6 +98,36 @@ def validate(path):
                     f"perf regression: {metric} = {value:.3g} below the "
                     f"{floor} floor (dispatched_tier = "
                     f"{rec['metrics'].get('dispatched_tier')!r})")
+    if rec["bench"] == "streaming":
+        # Robustness gate for the streaming calibrator (ISSUE 7 acceptance):
+        # streaming accuracy must track the batch robust predictor, the
+        # adaptive guard-band must never inflate on a clean stream, the
+        # drift detector must flag the injected shift inside the latency
+        # budget, and the clean stream must produce zero false alarms.
+        met = rec["metrics"]
+        ratio = float(met["e1_ratio"])
+        ratio_budget = float(met["e1_ratio_budget"])
+        if ratio > ratio_budget:
+            raise ValueError(
+                f"streaming regression: e1_ratio = {ratio:.3f} above the "
+                f"{ratio_budget} budget (streaming e1 no longer tracks the "
+                f"batch robust predictor)")
+        if not met["guardband_monotone"]:
+            raise ValueError("streaming regression: adaptive guard-band "
+                             "inflated on the clean stream")
+        if int(met["clean_false_alarms"]) != 0:
+            raise ValueError(
+                f"streaming regression: {met['clean_false_alarms']} drift "
+                f"false alarm(s) on the clean stream")
+        if not met["drift_detected"]:
+            raise ValueError("streaming regression: injected drift was "
+                             "never flagged")
+        latency = int(met["drift_latency_dies"])
+        budget = int(met["drift_budget_dies"])
+        if latency < 0 or latency > budget:
+            raise ValueError(
+                f"streaming regression: drift latency {latency} dies "
+                f"exceeds the {budget}-die budget")
     for key in TELEMETRY_KEYS:
         if key not in rec["telemetry"]:
             raise ValueError(f"telemetry missing {key!r}")
