@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/json.h"
 #include "util/stopwatch.h"
 #include "util/telemetry.h"
 #include "util/text.h"
@@ -57,10 +58,13 @@ class Harness {
   const std::string& json_path() const { return json_path_; }
 
   // Bench-specific metrics, emitted under "metrics" in insertion order.
+  // Doubles render round-trip exact (%.15g..%.17g, shortest that re-parses
+  // to the same bits): %.9g truncated small error metrics (an e1 of
+  // 3.2e-05 lost digits; anything below the precision floor flattened), and
+  // the cross-PR perf trajectory compares these values.  Non-finite values
+  // render as null — nan/inf are not JSON and the validator rejects them.
   void metric(std::string_view key, double v) {
-    char buf[48];
-    std::snprintf(buf, sizeof buf, "%.9g", v);
-    metrics_.emplace_back(std::string(key), buf);
+    metrics_.emplace_back(std::string(key), util::json::json_double(v));
   }
   void metric(std::string_view key, std::size_t v) {
     metrics_.emplace_back(std::string(key), std::to_string(v));

@@ -1,0 +1,198 @@
+// Example client for the selection service (src/server/): opens several
+// concurrent sessions against a running selection_serverd, drives pipelined
+// predicts (which the server gathers into panels), streams a few
+// fault-injected dies through the session calibrator, and scrapes the
+// telemetry endpoint.  The CI server-smoke job runs exactly this flow and
+// validates the scraped metrics with the strict JSON parser.
+//
+// Usage: example_selection_client <socket-path> [options]
+//   --benchmark <name>     circuit to select on        (default s1196)
+//   --sessions <n>         concurrent client threads   (default 4)
+//   --predicts <n>         pipelined predicts/thread   (default 16)
+//   --dies <n>             observed dies on thread 0   (default 4)
+//   --metrics-out <file>   write the /metrics JSON here
+//   --shutdown             ask the daemon to drain and exit afterwards
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+
+using namespace repro;
+
+namespace {
+
+struct Args {
+  std::string socket_path;
+  std::string benchmark = "s1196";
+  std::string metrics_out;
+  int sessions = 4;
+  int predicts = 16;
+  int dies = 4;
+  bool shutdown = false;
+};
+
+bool parse_args(int argc, char** argv, Args& args) {
+  if (argc < 2) return false;
+  args.socket_path = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (a == "--benchmark" && has_value) {
+      args.benchmark = argv[++i];
+    } else if (a == "--sessions" && has_value) {
+      args.sessions = std::atoi(argv[++i]);
+    } else if (a == "--predicts" && has_value) {
+      args.predicts = std::atoi(argv[++i]);
+    } else if (a == "--dies" && has_value) {
+      args.dies = std::atoi(argv[++i]);
+    } else if (a == "--metrics-out" && has_value) {
+      args.metrics_out = argv[++i];
+    } else if (a == "--shutdown") {
+      args.shutdown = true;
+    } else {
+      return false;
+    }
+  }
+  return args.sessions > 0 && args.predicts >= 0 && args.dies >= 0;
+}
+
+server::SessionConfig small_session(const std::string& benchmark) {
+  server::SessionConfig cfg;
+  cfg.benchmark = benchmark;
+  // Shrunk pools: the session builds in about a second; the protocol and
+  // batching behavior are identical to full scale.
+  cfg.max_target_paths = 250;
+  cfg.max_candidates = 4000;
+  cfg.yield_samples = 300;
+  return cfg;
+}
+
+// One client thread: open (shared) session, pipeline predicts, stream a few
+// fault-injected dies.
+void worker(const Args& args, int index, std::atomic<int>& failures) {
+  server::Client client;
+  if (!client.connect(args.socket_path)) {
+    std::fprintf(stderr, "worker %d: connect failed\n", index);
+    failures.fetch_add(1);
+    return;
+  }
+  server::SessionInfo info;
+  if (!client.open_session(small_session(args.benchmark), info)) {
+    std::fprintf(stderr, "worker %d: open failed: %s\n", index,
+                 client.last_error_message().c_str());
+    failures.fetch_add(1);
+    return;
+  }
+  if (index == 0) {
+    std::printf("session %u: rank %u, %u measured -> %u predicted paths "
+                "(eps_r %.3f, cached=%d)\n",
+                info.session, info.rank, info.n_meas, info.n_rem, info.eps_r,
+                info.cached ? 1 : 0);
+  }
+
+  // Pipelined predicts: deterministic per-die offsets around nominal (zero
+  // in centered measurement space).  Keeping several requests in flight is
+  // what lets the server gather panels across workers.
+  std::vector<std::uint32_t> seqs;
+  for (int k = 0; k < args.predicts; ++k) {
+    std::vector<double> measured(info.n_meas);
+    for (std::uint32_t j = 0; j < info.n_meas; ++j) {
+      measured[j] = 0.5 * (index + 1) + 0.25 * k + 0.01 * j;
+    }
+    std::uint32_t seq = 0;
+    if (!client.send_predict(info.session, measured, seq)) {
+      failures.fetch_add(1);
+      return;
+    }
+    seqs.push_back(seq);
+  }
+  for (std::size_t k = 0; k < seqs.size(); ++k) {
+    std::vector<double> predicted;
+    std::uint32_t seq = 0;
+    if (!client.recv_predict(predicted, seq) || seq != seqs[k] ||
+        predicted.size() != info.n_rem) {
+      std::fprintf(stderr, "worker %d: predict %zu failed\n", index, k);
+      failures.fetch_add(1);
+      return;
+    }
+  }
+
+  // Thread 0 streams fault-injected dies: a NaN slot (tester dropout) and
+  // an explicit invalid mask on another; the robust gate screens them.
+  if (index == 0) {
+    for (int d = 0; d < args.dies; ++d) {
+      std::vector<double> measured(info.n_meas, 1.0 + 0.1 * d);
+      std::vector<std::uint8_t> valid(info.n_meas, 1);
+      if (info.n_meas > 1) measured[0] = std::nan("");
+      if (info.n_meas > 2) valid[1] = 0;
+      server::ObserveOutcome outcome;
+      if (!client.observe(info.session, measured, valid, outcome)) {
+        std::fprintf(stderr, "worker 0: observe %d failed: %s\n", d,
+                     client.last_error_message().c_str());
+        failures.fetch_add(1);
+        return;
+      }
+      std::printf("die %d: accepted=%d guardband=%.4f drift=%.2f\n", d,
+                  outcome.accepted ? 1 : 0, outcome.guardband,
+                  outcome.drift_score);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    std::fprintf(stderr,
+                 "usage: example_selection_client <socket-path> "
+                 "[--benchmark s1196] [--sessions N] [--predicts N] "
+                 "[--dies N] [--metrics-out FILE] [--shutdown]\n");
+    return 2;
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < args.sessions; ++i) {
+    threads.emplace_back(worker, std::cref(args), i, std::ref(failures));
+  }
+  for (auto& t : threads) t.join();
+
+  server::Client control;
+  if (!control.connect(args.socket_path)) {
+    std::fprintf(stderr, "control connection failed\n");
+    return 1;
+  }
+  std::string metrics;
+  if (!control.metrics(metrics)) {
+    std::fprintf(stderr, "metrics scrape failed\n");
+    return 1;
+  }
+  if (!args.metrics_out.empty()) {
+    std::FILE* f = std::fopen(args.metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.metrics_out.c_str());
+      return 1;
+    }
+    std::fwrite(metrics.data(), 1, metrics.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+  std::printf("metrics scrape: %zu bytes\n", metrics.size());
+  if (args.shutdown && !control.shutdown_server()) {
+    std::fprintf(stderr, "shutdown request failed\n");
+    return 1;
+  }
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "%d worker(s) failed\n", failures.load());
+    return 1;
+  }
+  std::printf("all %d workers completed\n", args.sessions);
+  return 0;
+}

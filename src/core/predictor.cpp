@@ -7,6 +7,8 @@
 #include "linalg/gemm.h"
 #include "linalg/solve.h"
 #include "util/contracts.h"
+#include "util/telemetry.h"
+#include "util/thread_pool.h"
 
 namespace repro::core {
 namespace {
@@ -30,7 +32,8 @@ void build(LinearPredictor& p, const linalg::Matrix& a_rem,
 
 }  // namespace
 
-linalg::Vector LinearPredictor::predict(std::span<const double> measured) const {
+linalg::Vector LinearPredictor::predict(
+    std::span<const double> measured) const {
   if (measured.size() != mu_meas.size()) {
     throw std::invalid_argument(
         "LinearPredictor::predict: got " + std::to_string(measured.size()) +
@@ -49,6 +52,43 @@ linalg::Vector LinearPredictor::error_sigmas() const {
     s[i] = linalg::norm2(omega.row(i));
   }
   return s;
+}
+
+linalg::Matrix predict_panel(const LinearPredictor& p,
+                             const linalg::Matrix& measured) {
+  REPRO_CHECK_DIM(measured.cols(), p.mu_meas.size(),
+                  "predict_panel: measurement slots per die");
+  if (measured.cols() != p.mu_meas.size()) {
+    throw std::invalid_argument(
+        "predict_panel: got " + std::to_string(measured.cols()) +
+        " measurement columns, predictor expects " +
+        std::to_string(p.mu_meas.size()));
+  }
+  const std::size_t dies = measured.rows();
+  const std::size_t n_rem = p.mu_rem.size();
+  linalg::Matrix centered = measured;
+  for (std::size_t d = 0; d < dies; ++d) {
+    const auto row = centered.row(d);
+    for (std::size_t k = 0; k < row.size(); ++k) row[k] -= p.mu_meas[k];
+  }
+  util::telemetry::count("core.predict.panels");
+  util::telemetry::count("core.predict.panel_dies", dies);
+  linalg::Matrix out(dies, n_rem);
+  // Output element (d, i) is dot(coef.row(i), centered.row(d)) + mu_rem[i] —
+  // exactly the arithmetic of predict()'s matvec element, so every die's row
+  // matches the serial result bitwise.  The loop nest keeps one coef row hot
+  // across the whole batch (coef streams once per panel, not once per die),
+  // and the parallel split over output columns never reorders an element's
+  // operands, so the panel is also thread-count invariant.
+  util::parallel_for(0, n_rem, 64, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const auto crow = p.coef.row(i);
+      for (std::size_t d = 0; d < dies; ++d) {
+        out(d, i) = linalg::dot(crow, centered.row(d)) + p.mu_rem[i];
+      }
+    }
+  });
+  return out;
 }
 
 LinearPredictor make_path_predictor(const linalg::Matrix& a,

@@ -43,6 +43,20 @@ LinearPredictor make_path_predictor(const linalg::Matrix& a,
                                     const linalg::Vector& mu,
                                     const std::vector<int>& rep);
 
+// Batched prediction: one die per row of `measured` (n_dies x n_meas), one
+// die per row of the result (n_dies x n_rem).  This is the selection
+// server's batch-gather entry point: concurrent predict requests are
+// gathered into a panel and answered in one pass, so each row of `coef`
+// streams from memory once per BATCH instead of once per die — the same
+// multi-RHS win as the trsm panel in core/error_model.  Every output row is
+// computed element-for-element with LinearPredictor::predict's arithmetic
+// (the same linalg::dot kernel in the same order), and the parallel split
+// over output columns never changes any element's operand order, so batched
+// results are bit-identical to per-die serial predicts at any thread count.
+// Throws std::invalid_argument on a column-count mismatch.
+linalg::Matrix predict_panel(const LinearPredictor& p,
+                             const linalg::Matrix& measured);
+
 // Hybrid measurement set: rows `rep_paths` of A plus rows `rep_segments` of
 // Sigma.  Predicts the target paths in `remaining` (pass all non-measured
 // path indices).

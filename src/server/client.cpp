@@ -1,0 +1,203 @@
+#include "server/client.h"
+
+#include <utility>
+
+namespace repro::server {
+
+bool Client::connect(const std::string& path) {
+  fd_ = util::unix_connect(path);
+  if (!fd_.valid()) return false;
+  return send_preamble();
+}
+
+bool Client::adopt(util::Fd fd) {
+  fd_ = std::move(fd);
+  if (!fd_.valid()) return false;
+  return send_preamble();
+}
+
+bool Client::send_preamble() {
+  reader_ = std::make_unique<util::BufferedReader>(fd_.get());
+  if (!util::send_all(fd_.get(), kBinaryMagic, sizeof(kBinaryMagic))) {
+    set_transport_error();
+    return false;
+  }
+  return true;
+}
+
+void Client::set_transport_error() {
+  last_error_ = ErrorCode::kInternal;
+  last_error_message_ = "connection lost";
+  close();
+}
+
+bool Client::read_expected(MsgType expected, Frame& response) {
+  if (reader_ == nullptr) {
+    set_transport_error();
+    return false;
+  }
+  if (read_frame(*reader_, response) != FrameReadStatus::kOk) {
+    set_transport_error();
+    return false;
+  }
+  if (response.type == MsgType::kError) {
+    std::string message;
+    ErrorCode code = ErrorCode::kInternal;
+    if (decode_error(response.payload, code, message)) {
+      last_error_ = code;
+      last_error_message_ = message;
+    } else {
+      last_error_ = ErrorCode::kInternal;
+      last_error_message_ = "undecodable error frame";
+    }
+    return false;
+  }
+  if (response.type != expected) {
+    last_error_ = ErrorCode::kInternal;
+    last_error_message_ = "unexpected response type";
+    return false;
+  }
+  return true;
+}
+
+bool Client::flush_pipeline() {
+  if (pipeline_buf_.empty()) return true;
+  const bool sent =
+      util::send_all(fd_.get(), pipeline_buf_.data(), pipeline_buf_.size());
+  pipeline_buf_.clear();
+  if (!sent) {
+    set_transport_error();
+    return false;
+  }
+  return true;
+}
+
+bool Client::roundtrip(MsgType request, std::string_view payload,
+                       MsgType expected, Frame& response) {
+  if (!fd_.valid()) {
+    set_transport_error();
+    return false;
+  }
+  // Queued pipelined predicts go first so responses keep request order.
+  if (!flush_pipeline()) return false;
+  const std::uint32_t seq = next_seq_++;
+  if (!send_frame(fd_.get(), request, seq, payload)) {
+    set_transport_error();
+    return false;
+  }
+  return read_expected(expected, response);
+}
+
+bool Client::open_session(const SessionConfig& cfg, SessionInfo& info) {
+  Frame response;
+  if (!roundtrip(MsgType::kOpenSession, encode_open_session(cfg),
+                 MsgType::kSessionOpened, response)) {
+    return false;
+  }
+  if (!decode_session_info(response.payload, info)) {
+    last_error_ = ErrorCode::kBadFrame;
+    last_error_message_ = "undecodable session info";
+    return false;
+  }
+  return true;
+}
+
+bool Client::predict(std::uint32_t session,
+                     const std::vector<double>& measured,
+                     std::vector<double>& predicted) {
+  Frame response;
+  if (!roundtrip(MsgType::kPredict, encode_predict(session, measured),
+                 MsgType::kPredictResult, response)) {
+    return false;
+  }
+  if (!decode_f64_vector(response.payload, predicted)) {
+    last_error_ = ErrorCode::kBadFrame;
+    last_error_message_ = "undecodable prediction";
+    return false;
+  }
+  return true;
+}
+
+bool Client::observe(std::uint32_t session,
+                     const std::vector<double>& measured,
+                     const std::vector<std::uint8_t>& valid,
+                     ObserveOutcome& out) {
+  Frame response;
+  if (!roundtrip(MsgType::kObserve, encode_observe(session, measured, valid),
+                 MsgType::kObserveResult, response)) {
+    return false;
+  }
+  if (!decode_observe_outcome(response.payload, out)) {
+    last_error_ = ErrorCode::kBadFrame;
+    last_error_message_ = "undecodable observe outcome";
+    return false;
+  }
+  return true;
+}
+
+bool Client::session_info(std::uint32_t session, SessionInfo& info) {
+  std::string payload;
+  put_u32(payload, session);
+  Frame response;
+  if (!roundtrip(MsgType::kSessionInfo, payload, MsgType::kSessionInfoResult,
+                 response)) {
+    return false;
+  }
+  if (!decode_session_info(response.payload, info)) {
+    last_error_ = ErrorCode::kBadFrame;
+    last_error_message_ = "undecodable session info";
+    return false;
+  }
+  return true;
+}
+
+bool Client::metrics(std::string& json) {
+  Frame response;
+  if (!roundtrip(MsgType::kMetrics, {}, MsgType::kMetricsResult, response)) {
+    return false;
+  }
+  json = std::move(response.payload);
+  return true;
+}
+
+bool Client::ping() {
+  Frame response;
+  return roundtrip(MsgType::kPing, {}, MsgType::kPong, response);
+}
+
+bool Client::shutdown_server() {
+  Frame response;
+  return roundtrip(MsgType::kShutdown, {}, MsgType::kShutdownAck, response);
+}
+
+bool Client::send_predict(std::uint32_t session,
+                          const std::vector<double>& measured,
+                          std::uint32_t& seq) {
+  if (!fd_.valid()) {
+    set_transport_error();
+    return false;
+  }
+  seq = next_seq_++;
+  append_frame(pipeline_buf_, MsgType::kPredict, seq,
+               encode_predict(session, measured));
+  // A burst larger than the socket buffer gains nothing from more
+  // coalescing; cap the client-side memory it holds.
+  if (pipeline_buf_.size() >= 64u * 1024u) return flush_pipeline();
+  return true;
+}
+
+bool Client::recv_predict(std::vector<double>& predicted,
+                          std::uint32_t& seq) {
+  if (!flush_pipeline()) return false;
+  Frame response;
+  if (!read_expected(MsgType::kPredictResult, response)) return false;
+  seq = response.seq;
+  if (!decode_f64_vector(response.payload, predicted)) {
+    last_error_ = ErrorCode::kBadFrame;
+    last_error_message_ = "undecodable prediction";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace repro::server

@@ -1,0 +1,54 @@
+// selection_serverd: the selection-as-a-service daemon.
+//
+// Usage: selection_serverd [socket-path]
+//        default socket: /tmp/repro_selection.sock
+//
+// Serves the binary protocol and the JSON-lines debugging front end on one
+// AF_UNIX socket (src/server/protocol.h).  SIGINT/SIGTERM, or a client
+// shutdown request, drain in-flight requests and exit cleanly.  The
+// readiness line on stdout ("listening on ...") is what the CI smoke job
+// waits for.
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "server/server.h"
+
+namespace {
+
+repro::server::Server* g_server = nullptr;
+
+// request_shutdown is an atomic store plus a shutdown(2) on the listener:
+// async-signal-safe.
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path = "/tmp/repro_selection.sock";
+  if (argc > 1) path = argv[1];
+  if (argc > 2 || path == "--help" || path == "-h") {
+    std::fprintf(stderr, "usage: selection_serverd [socket-path]\n");
+    return argc > 2 ? 2 : 0;
+  }
+
+  repro::server::Server server;
+  if (!server.listen(path)) {
+    std::fprintf(stderr, "selection_serverd: cannot listen on %s: %s\n",
+                 path.c_str(), std::strerror(errno));
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  std::printf("selection_serverd: listening on %s\n", path.c_str());
+  std::fflush(stdout);
+  server.run();
+  std::printf("selection_serverd: drained, exiting\n");
+  return 0;
+}

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <string>
 
+#include "util/text.h"
+
 namespace repro::util {
 namespace {
 
@@ -51,15 +53,22 @@ const CpuFeatures& cpu_features() {
 
 double nominal_cpu_ghz() {
   static const double ghz = [] {
-    if (const char* env = std::getenv("REPRO_CPU_GHZ")) {
-      char* end = nullptr;
-      const double v = std::strtod(env, &end);
-      if (end != env && v > 0.1 && v < 10.0) return v;
+    if (const auto v = env_ghz_override(std::getenv("REPRO_CPU_GHZ"))) {
+      return *v;
     }
     const double parsed = parse_ghz_from_cpuinfo();
     return parsed > 0.0 ? parsed : 2.0;
   }();
   return ghz;
+}
+
+std::optional<double> env_ghz_override(const char* value) {
+  if (value == nullptr) return std::nullopt;
+  // Full-string parse, same strictness as REPRO_THREADS: "2.1GHz" is a user
+  // error, not a 2.1 override.
+  const auto v = parse_double_strict(value);
+  if (!v || !(*v > 0.1 && *v < 10.0)) return std::nullopt;
+  return *v;
 }
 
 }  // namespace repro::util

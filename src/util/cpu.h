@@ -7,6 +7,8 @@
 // the hardware; everything above it goes through linalg::simd::dispatch.
 #pragma once
 
+#include <optional>
+
 namespace repro::util {
 
 struct CpuFeatures {
@@ -25,5 +27,11 @@ const CpuFeatures& cpu_features();
 // for humans reading bench records; the CI perf gate uses speedup-vs-scalar
 // ratios, which cancel the clock entirely.
 double nominal_cpu_ghz();
+
+// Strictly parsed REPRO_CPU_GHZ override (nullptr = variable unset).  The
+// whole string must be one plausible decimal clock (0.1 < v < 10); trailing
+// garbage ("2.1GHz") yields nullopt and the /proc/cpuinfo fallback runs.
+// Exposed for unit testing; nominal_cpu_ghz() applies it once per process.
+std::optional<double> env_ghz_override(const char* value);
 
 }  // namespace repro::util

@@ -1,0 +1,346 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace repro::util::json {
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& what) {
+    if (error.empty()) {
+      error = what + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  bool at_end() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!at_end()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  bool parse_value(Value& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"':
+        out.kind = Kind::kString;
+        return parse_string(out.string);
+      case 't':
+        if (!consume_literal("true")) return fail("bad literal");
+        out.kind = Kind::kBool;
+        out.boolean = true;
+        return true;
+      case 'f':
+        if (!consume_literal("false")) return fail("bad literal");
+        out.kind = Kind::kBool;
+        out.boolean = false;
+        return true;
+      case 'n':
+        if (!consume_literal("null")) return fail("bad literal");
+        out.kind = Kind::kNull;
+        return true;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value& out, int depth) {
+    out.kind = Kind::kObject;
+    ++pos;  // '{'
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (at_end() || peek() != '"') return fail("expected object key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      for (const auto& [k, v] : out.members) {
+        (void)v;
+        if (k == key) return fail("duplicate object key \"" + key + "\"");
+      }
+      skip_ws();
+      if (at_end() || peek() != ':') return fail("expected ':'");
+      ++pos;
+      Value member;
+      if (!parse_value(member, depth + 1)) return false;
+      out.members.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (at_end()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(Value& out, int depth) {
+    out.kind = Kind::kArray;
+    ++pos;  // '['
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos;
+      return true;
+    }
+    for (;;) {
+      Value item;
+      if (!parse_value(item, depth + 1)) return false;
+      out.items.push_back(std::move(item));
+      skip_ws();
+      if (at_end()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_hex4(unsigned& out) {
+    if (pos + 4 > text.size()) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos + static_cast<std::size_t>(i)];
+      unsigned d = 0;
+      if (c >= '0' && c <= '9') {
+        d = static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        d = static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        d = static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return fail("bad \\u escape");
+      }
+      out = out * 16 + d;
+    }
+    pos += 4;
+    return true;
+  }
+
+  static void append_utf8(std::string& s, unsigned cp) {
+    if (cp < 0x80) {
+      s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      s += static_cast<char>(0xC0 | (cp >> 6));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      s += static_cast<char>(0xE0 | (cp >> 12));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      s += static_cast<char>(0xF0 | (cp >> 18));
+      s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos;  // opening quote
+    out.clear();
+    for (;;) {
+      if (at_end()) return fail("unterminated string");
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos;
+        continue;
+      }
+      ++pos;
+      if (at_end()) return fail("truncated escape");
+      const char e = text[pos];
+      ++pos;
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parse_hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (pos + 2 > text.size() || text[pos] != '\\' ||
+                text[pos + 1] != 'u') {
+              return fail("lone high surrogate");
+            }
+            pos += 2;
+            unsigned lo = 0;
+            if (!parse_hex4(lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF) return fail("bad surrogate pair");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return fail("bad escape character");
+      }
+    }
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos;
+    if (!at_end() && peek() == '-') ++pos;
+    // int part: 0, or [1-9][0-9]*
+    if (at_end()) return fail("truncated number");
+    if (peek() == '0') {
+      ++pos;
+    } else if (peek() >= '1' && peek() <= '9') {
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos;
+    } else {
+      return fail("bad number");
+    }
+    if (!at_end() && peek() == '.') {
+      ++pos;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        return fail("bad number fraction");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        return fail("bad number exponent");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos;
+    }
+    // The slice is validated against the JSON grammar, so strtod consumes
+    // exactly all of it; overflow saturates to +-inf, which is still the
+    // closest double and keeps the parser total.
+    const std::string slice(text.substr(start, pos - start));
+    out.kind = Kind::kNumber;
+    out.number = std::strtod(slice.c_str(), nullptr);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  for (const int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double Value::number_or(std::string_view key, double fallback) const {
+  const Value* v = find(key);
+  return (v != nullptr && v->kind == Kind::kNumber) ? v->number : fallback;
+}
+
+std::string Value::string_or(std::string_view key,
+                             std::string_view fallback) const {
+  const Value* v = find(key);
+  return (v != nullptr && v->kind == Kind::kString) ? v->string
+                                                    : std::string(fallback);
+}
+
+bool parse(std::string_view text, Value& out, std::string& error) {
+  Parser p{text, 0, {}};
+  out = Value{};
+  if (!p.parse_value(out, 0)) {
+    error = p.error;
+    return false;
+  }
+  p.skip_ws();
+  if (!p.at_end()) {
+    p.fail("trailing garbage after document");
+    error = p.error;
+    return false;
+  }
+  error.clear();
+  return true;
+}
+
+Value parse_or_throw(std::string_view text) {
+  Value v;
+  std::string error;
+  if (!parse(text, v, error)) {
+    throw std::invalid_argument("json::parse: " + error);
+  }
+  return v;
+}
+
+}  // namespace repro::util::json

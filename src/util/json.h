@@ -1,0 +1,68 @@
+// Minimal strict JSON: a recursive-descent parser plus the two formatting
+// helpers every JSON producer in the tree shares.
+//
+// The repository emits JSON in three places (telemetry snapshots, bench
+// records, the selection server's wire responses) and now also consumes it
+// (the server's line-delimited debugging front end, the protocol regression
+// tests).  One strict implementation keeps producer and consumer honest
+// about the same grammar: RFC 8259 only — no NaN/Infinity literals, no
+// comments, no trailing commas, no trailing garbage, no duplicate object
+// keys.  Anything the parser here rejects would also break the CI validator
+// (tools/validate_bench_json.py runs Python's json with non-finite constants
+// rejected), so round-tripping through json::parse in a test is the
+// project's definition of "valid record".
+//
+// Non-finite doubles have no JSON representation; json_double renders them
+// as null so a NaN gauge degrades to a missing sample instead of poisoning
+// the whole document (see util/telemetry.cpp and bench/bench_common.h).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace repro::util::json {
+
+// Shortest decimal rendering of `v` that strtod parses back to exactly the
+// same bits (tries %.15g, %.16g, %.17g); "null" for NaN / +-Inf.
+std::string json_double(double v);
+
+// JSON string-body escaping (quotes, backslash, control characters).  Does
+// not add the surrounding quotes.
+std::string escape(std::string_view s);
+
+enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+// One parsed JSON value.  A plain struct, not a variant: the tree is built
+// by the parser and read by tests / the server front end, so transparent
+// fields beat accessor ceremony.  Object members keep document order;
+// lookups are linear (documents here are small).
+struct Value {
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> items;                             // kArray
+  std::vector<std::pair<std::string, Value>> members;   // kObject
+
+  bool is_null() const { return kind == Kind::kNull; }
+  // Member lookup; nullptr when not an object or the key is absent.
+  const Value* find(std::string_view key) const;
+  // Typed member conveniences for the server front end: the fallback is
+  // returned when the key is absent or has the wrong kind.
+  double number_or(std::string_view key, double fallback) const;
+  std::string string_or(std::string_view key, std::string_view fallback) const;
+};
+
+// Strict parse of a complete document.  On success returns true and fills
+// `out`; on failure returns false and describes the problem (with a byte
+// offset) in `error`.  Never throws on malformed input — the server feeds
+// this untrusted bytes.  Nesting beyond 64 levels is rejected.
+bool parse(std::string_view text, Value& out, std::string& error);
+
+// Throwing convenience for tests: std::invalid_argument on malformed input.
+Value parse_or_throw(std::string_view text);
+
+}  // namespace repro::util::json

@@ -8,6 +8,8 @@
 #include <mutex>
 #include <ostream>
 
+#include "util/json.h"
+
 namespace repro::util::telemetry {
 namespace {
 
@@ -124,28 +126,7 @@ void reset() {
   r.spans.clear();
 }
 
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+std::string json_escape(std::string_view s) { return json::escape(s); }
 
 std::string to_json() {
   const Snapshot snap = snapshot();
@@ -161,12 +142,13 @@ std::string to_json() {
   js += "}, \"gauges\": {";
   for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
     if (i) js += ", ";
-    char buf[48];
-    std::snprintf(buf, sizeof buf, "%.9g", snap.gauges[i].value);
     js += '"';
     js += json_escape(snap.gauges[i].name);
     js += "\": ";
-    js += buf;
+    // Round-trip decimal; a NaN/Inf gauge renders as null — non-finite
+    // literals are not JSON and would poison every strict consumer of the
+    // snapshot (validate_bench_json.py, the server metrics endpoint).
+    js += json::json_double(snap.gauges[i].value);
   }
   js += "}, \"spans\": {";
   for (std::size_t i = 0; i < snap.spans.size(); ++i) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -38,6 +39,41 @@ std::vector<std::string> split(std::string_view s, char delim) {
 
 bool starts_with(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<unsigned long> parse_ulong_strict(std::string_view s) {
+  if (s.empty() || s.size() > 20) return std::nullopt;
+  // strtoul skips whitespace and accepts a sign; forbid both up front so the
+  // accepted language is exactly [0-9]+.
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+  }
+  const std::string buf(s);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long v = std::strtoul(buf.c_str(), &end, 10);
+  if (errno == ERANGE || end != buf.c_str() + buf.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_double_strict(std::string_view s) {
+  if (s.empty() || s.size() > 64) return std::nullopt;
+  const unsigned char first = static_cast<unsigned char>(s.front());
+  // Reject the leading whitespace strtod would skip, plus hex floats, nan,
+  // and inf: an override is a plain decimal number or it is nothing.
+  if (std::isspace(first)) return std::nullopt;
+  for (char c : s) {
+    if (c != '+' && c != '-' && c != '.' && c != 'e' && c != 'E' &&
+        (c < '0' || c > '9')) {
+      return std::nullopt;
+    }
+  }
+  const std::string buf(s);
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE || end != buf.c_str() + buf.size()) return std::nullopt;
+  return v;
 }
 
 std::string fmt_double(double v, int precision) {

@@ -3,6 +3,7 @@
 // for machine consumption).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -17,6 +18,15 @@ bool starts_with(std::string_view s, std::string_view prefix);
 // printf-style double formatting helpers.
 std::string fmt_double(double v, int precision);
 std::string fmt_percent(double fraction, int precision);  // 0.0123 -> "1.23"
+
+// Strict full-string numeric parsing for environment overrides.  The entire
+// string must be one number — trailing garbage ("8x"), embedded lists
+// ("4,8"), empty strings, and (for the unsigned form) negative values all
+// return nullopt so the caller falls back to its default instead of silently
+// honoring half of what the user typed.  Leading/trailing whitespace is not
+// accepted either: an override is machine-written, not prose.
+std::optional<unsigned long> parse_ulong_strict(std::string_view s);
+std::optional<double> parse_double_strict(std::string_view s);
 
 // Minimal fixed-width text table.  Columns are sized to their widest cell.
 class TextTable {

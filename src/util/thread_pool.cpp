@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "util/telemetry.h"
+#include "util/text.h"
 
 namespace repro::util {
 namespace {
@@ -24,18 +25,23 @@ struct RegionGuard {
 };
 
 std::size_t default_threads() {
-  if (const char* env = std::getenv("REPRO_THREADS")) {
-    char* end = nullptr;
-    const unsigned long v = std::strtoul(env, &end, 10);
-    if (end != env && v > 0) {
-      return std::min<std::size_t>(v, 256);
-    }
+  if (const auto n = env_thread_override(std::getenv("REPRO_THREADS"))) {
+    return *n;
   }
   const unsigned hc = std::thread::hardware_concurrency();
   return static_cast<std::size_t>(std::clamp(hc, 1u, 8u));
 }
 
 }  // namespace
+
+std::optional<std::size_t> env_thread_override(const char* value) {
+  if (value == nullptr) return std::nullopt;
+  // Full-string parse: "8x" or "4,8" must not silently run with 8 (resp. 4)
+  // threads — reject and let the caller fall back to the hardware default.
+  const auto v = parse_ulong_strict(value);
+  if (!v || *v == 0) return std::nullopt;
+  return std::min<std::size_t>(*v, 256);
+}
 
 struct ThreadPool::Impl {
   mutable std::mutex mutex;

@@ -26,6 +26,7 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <optional>
 #include <type_traits>
 #include <utility>
 
@@ -88,6 +89,13 @@ class ThreadPool {
 // Convenience wrappers over ThreadPool::instance().
 void set_threads(std::size_t n);
 std::size_t thread_count();
+
+// Strictly parsed REPRO_THREADS override (nullptr = variable unset).  The
+// whole string must be a positive integer — trailing garbage ("8x") and
+// lists ("4,8") yield nullopt, which means "fall back to the hardware
+// default", never a silently truncated parse.  Values are capped at 256.
+// Exposed for unit testing; the pool applies it once at construction.
+std::optional<std::size_t> env_thread_override(const char* value);
 void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                   const std::function<void(std::size_t, std::size_t)>& fn);
 

@@ -1,0 +1,148 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+namespace repro::util::json {
+namespace {
+
+Value parse_ok(const std::string& text) {
+  Value v;
+  std::string error;
+  EXPECT_TRUE(parse(text, v, error)) << text << " -> " << error;
+  return v;
+}
+
+void expect_reject(const std::string& text) {
+  Value v;
+  std::string error;
+  EXPECT_FALSE(parse(text, v, error)) << text << " parsed unexpectedly";
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonDouble, FiniteValuesRoundTripExactly) {
+  const double cases[] = {0.0,     -0.0,   1.0,       0.1,  0.1 + 0.2,
+                          1e-308,  1e308,  -123.456,  2.5e-17,
+                          3.141592653589793, 4503599627370497.0};
+  for (const double v : cases) {
+    const std::string s = json_double(v);
+    double back = 0.0;
+    ASSERT_EQ(std::sscanf(s.c_str(), "%lf", &back), 1) << s;
+    EXPECT_EQ(back, v) << s;  // exact bits, not approximate
+  }
+}
+
+TEST(JsonDouble, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_double(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_double(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_double(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_EQ(parse_ok("null").kind, Kind::kNull);
+  EXPECT_TRUE(parse_ok("true").boolean);
+  EXPECT_FALSE(parse_ok("false").boolean);
+  EXPECT_DOUBLE_EQ(parse_ok("2.5e2").number, 250.0);
+  EXPECT_DOUBLE_EQ(parse_ok("-0.125").number, -0.125);
+  EXPECT_EQ(parse_ok("\"hi\"").string, "hi");
+  EXPECT_EQ(parse_ok("  42  ").number, 42.0);
+}
+
+TEST(JsonParse, StringsWithEscapes) {
+  EXPECT_EQ(parse_ok("\"a\\n\\t\\\"b\\\\\"").string, "a\n\t\"b\\");
+  EXPECT_EQ(parse_ok("\"\\u0041\"").string, "A");
+  EXPECT_EQ(parse_ok("\"\\u00e9\"").string, "\xC3\xA9");          // é
+  EXPECT_EQ(parse_ok("\"\\uD83D\\uDE00\"").string,
+            "\xF0\x9F\x98\x80");  // surrogate pair
+  expect_reject("\"\\uD83D\"");   // lone high surrogate
+  expect_reject("\"\\x41\"");     // not a JSON escape
+  expect_reject("\"unterminated");
+  expect_reject("\"ctrl \x01 char\"");
+}
+
+TEST(JsonParse, Containers) {
+  const Value arr = parse_ok("[1, [2, 3], {\"k\": null}]");
+  ASSERT_EQ(arr.items.size(), 3u);
+  EXPECT_EQ(arr.items[1].items[1].number, 3.0);
+  EXPECT_TRUE(arr.items[2].find("k")->is_null());
+
+  const Value obj = parse_ok("{\"a\": 1, \"b\": {\"c\": [true]}}");
+  EXPECT_EQ(obj.number_or("a", 0.0), 1.0);
+  EXPECT_TRUE(obj.find("b")->find("c")->items[0].boolean);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  EXPECT_EQ(obj.string_or("missing", "dflt"), "dflt");
+  EXPECT_EQ(parse_ok("[]").items.size(), 0u);
+  EXPECT_EQ(parse_ok("{}").members.size(), 0u);
+}
+
+TEST(JsonParse, RejectsNonFiniteLiterals) {
+  // The whole point of the strict grammar: Python's default json.loads and
+  // lax C parsers accept these; the CI validator and this parser must not.
+  expect_reject("NaN");
+  expect_reject("Infinity");
+  expect_reject("-Infinity");
+  expect_reject("nan");
+  expect_reject("inf");
+  expect_reject("{\"gauge\": nan}");
+  expect_reject("[1, inf]");
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  expect_reject("");
+  expect_reject("   ");
+  expect_reject("{");
+  expect_reject("[1, 2");
+  expect_reject("[1,]");            // trailing comma
+  expect_reject("{\"a\": 1,}");     // trailing comma
+  expect_reject("{\"a\" 1}");       // missing colon
+  expect_reject("{a: 1}");          // unquoted key
+  expect_reject("[1] garbage");     // trailing garbage
+  expect_reject("[1][2]");          // two documents
+  expect_reject("01");              // leading zero
+  expect_reject("1.");              // empty fraction
+  expect_reject(".5");              // empty int part
+  expect_reject("+1");              // leading plus
+  expect_reject("1e");              // empty exponent
+  expect_reject("'single'");        // wrong quotes
+  expect_reject("undefined");
+  expect_reject("// comment\n1");
+  expect_reject("{\"a\": 1, \"a\": 2}");  // duplicate key
+}
+
+TEST(JsonParse, DepthLimitIsEnforced) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  expect_reject(deep);
+  // 32 levels is comfortably inside the 64-level budget.
+  std::string ok;
+  for (int i = 0; i < 32; ++i) ok += '[';
+  for (int i = 0; i < 32; ++i) ok += ']';
+  parse_ok(ok);
+}
+
+TEST(JsonParse, ErrorsCarryOffsets) {
+  Value v;
+  std::string error;
+  ASSERT_FALSE(parse("[1, nan]", v, error));
+  EXPECT_NE(error.find("offset"), std::string::npos) << error;
+}
+
+TEST(JsonParse, ParseOrThrowThrows) {
+  EXPECT_NO_THROW(parse_or_throw("{\"a\": [1, 2.5, \"x\"]}"));
+  EXPECT_THROW(parse_or_throw("{broken"), std::invalid_argument);
+}
+
+TEST(JsonRoundTrip, EscapeThenParse) {
+  const std::string awkward = "quote\" back\\slash \n\t ctrl\x01 end";
+  const std::string doc = "{\"k\": \"" + escape(awkward) + "\"}";
+  const Value v = parse_ok(doc);
+  EXPECT_EQ(v.find("k")->string, awkward);
+}
+
+}  // namespace
+}  // namespace repro::util::json

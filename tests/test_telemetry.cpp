@@ -5,9 +5,11 @@
 #include <cctype>
 #include <cstddef>
 #include <functional>
+#include <limits>
 #include <string>
 #include <string_view>
 
+#include "util/json.h"
 #include "util/thread_pool.h"
 
 namespace repro::util::telemetry {
@@ -264,6 +266,41 @@ TEST_F(TelemetryTest, JsonEscapesAwkwardNames) {
   EXPECT_TRUE(json_ok(js)) << js;
   EXPECT_NE(js.find("\\\"quoted\\\""), std::string::npos);
   EXPECT_NE(js.find("\\n"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, NonFiniteGaugesStillParseStrictly) {
+  // Gauges can legitimately go non-finite (a drift score before warmup, a
+  // ratio with a zero denominator).  The export used to print them as bare
+  // `nan` / `inf`, which no strict JSON parser accepts — the /metrics
+  // endpoint and every BENCH_*.json embedding the snapshot were invalid.
+  // They must come out as null.
+  set_gauge("test.bad_a", std::numeric_limits<double>::quiet_NaN());
+  set_gauge("test.bad_b", std::numeric_limits<double>::infinity());
+  set_gauge("test.bad_c", -std::numeric_limits<double>::infinity());
+  set_gauge("test.good", 2.25);
+  const std::string js = to_json();
+
+  const json::Value doc = json::parse_or_throw(js);  // throws on bare nan/inf
+  const json::Value* gauges = doc.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(gauges->find("test.bad_a"), nullptr);
+  EXPECT_TRUE(gauges->find("test.bad_a")->is_null());
+  EXPECT_TRUE(gauges->find("test.bad_b")->is_null());
+  EXPECT_TRUE(gauges->find("test.bad_c")->is_null());
+  ASSERT_NE(gauges->find("test.good"), nullptr);
+  EXPECT_DOUBLE_EQ(gauges->find("test.good")->number, 2.25);
+}
+
+TEST_F(TelemetryTest, GaugePrecisionRoundTrips) {
+  // %.9g-class formatting silently rounded gauges; the export now uses the
+  // shortest round-trip rendering.
+  const double v = 0.1 + 0.2;  // 0.30000000000000004: needs 17 digits
+  set_gauge("test.precise", v);
+  const json::Value doc = json::parse_or_throw(to_json());
+  const json::Value* g = doc.find("gauges");
+  ASSERT_NE(g, nullptr);
+  ASSERT_NE(g->find("test.precise"), nullptr);
+  EXPECT_EQ(g->find("test.precise")->number, v);  // bitwise, not approx
 }
 
 TEST_F(TelemetryTest, JsonEscapeHelper) {

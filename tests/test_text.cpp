@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "util/cpu.h"
+#include "util/thread_pool.h"
+
 namespace repro::util {
 namespace {
 
@@ -60,6 +63,72 @@ TEST(Text, TableShortRowsPadded) {
   t.add_row({"only"});
   const std::string csv = t.render_csv();
   EXPECT_EQ(csv, "a,b,c\nonly,,\n");
+}
+
+TEST(Text, ParseUlongStrictAcceptsPlainDecimal) {
+  EXPECT_EQ(parse_ulong_strict("0"), 0ul);
+  EXPECT_EQ(parse_ulong_strict("8"), 8ul);
+  EXPECT_EQ(parse_ulong_strict("00123"), 123ul);
+  EXPECT_EQ(parse_ulong_strict("4294967296"), 4294967296ul);
+}
+
+TEST(Text, ParseUlongStrictRejectsPartialParses) {
+  // strtoul would happily parse the prefix of every one of these; the
+  // strict parser must reject the full string instead.
+  EXPECT_FALSE(parse_ulong_strict("8x"));
+  EXPECT_FALSE(parse_ulong_strict("4,8"));
+  EXPECT_FALSE(parse_ulong_strict("8 "));
+  EXPECT_FALSE(parse_ulong_strict(" 8"));
+  EXPECT_FALSE(parse_ulong_strict("+8"));
+  EXPECT_FALSE(parse_ulong_strict("-1"));
+  EXPECT_FALSE(parse_ulong_strict("0x10"));
+  EXPECT_FALSE(parse_ulong_strict("8.0"));
+  EXPECT_FALSE(parse_ulong_strict(""));
+  EXPECT_FALSE(parse_ulong_strict("99999999999999999999999"));  // overflow
+}
+
+TEST(Text, ParseDoubleStrictAcceptsNumbers) {
+  EXPECT_DOUBLE_EQ(*parse_double_strict("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*parse_double_strict("-0.25"), -0.25);
+  EXPECT_DOUBLE_EQ(*parse_double_strict("3"), 3.0);
+  EXPECT_DOUBLE_EQ(*parse_double_strict("1e2"), 100.0);
+  EXPECT_DOUBLE_EQ(*parse_double_strict("2.5E-1"), 0.25);
+}
+
+TEST(Text, ParseDoubleStrictRejectsPartialAndExotic) {
+  EXPECT_FALSE(parse_double_strict("2.5GHz"));
+  EXPECT_FALSE(parse_double_strict("2,5"));
+  EXPECT_FALSE(parse_double_strict(" 2.5"));
+  EXPECT_FALSE(parse_double_strict("2.5 "));
+  EXPECT_FALSE(parse_double_strict(""));
+  EXPECT_FALSE(parse_double_strict("nan"));
+  EXPECT_FALSE(parse_double_strict("inf"));
+  EXPECT_FALSE(parse_double_strict("-INFINITY"));
+  EXPECT_FALSE(parse_double_strict("0x1p4"));
+  EXPECT_FALSE(parse_double_strict("1e999"));  // overflow
+}
+
+TEST(Text, ThreadOverrideStrictness) {
+  EXPECT_EQ(env_thread_override(nullptr), std::nullopt);
+  EXPECT_EQ(env_thread_override("8"), 8u);
+  EXPECT_EQ(env_thread_override("1"), 1u);
+  // Malformed values fall back to auto-detection rather than silently
+  // truncating ("8x" must not run with 8 threads).
+  EXPECT_EQ(env_thread_override("8x"), std::nullopt);
+  EXPECT_EQ(env_thread_override("4,8"), std::nullopt);
+  EXPECT_EQ(env_thread_override("0"), std::nullopt);
+  EXPECT_EQ(env_thread_override(""), std::nullopt);
+  EXPECT_EQ(env_thread_override("9999"), 256u);  // clamped
+}
+
+TEST(Text, GhzOverrideStrictness) {
+  EXPECT_EQ(env_ghz_override(nullptr), std::nullopt);
+  EXPECT_DOUBLE_EQ(*env_ghz_override("3.5"), 3.5);
+  EXPECT_EQ(env_ghz_override("3.5GHz"), std::nullopt);
+  EXPECT_EQ(env_ghz_override("2,5"), std::nullopt);
+  EXPECT_EQ(env_ghz_override("nan"), std::nullopt);
+  EXPECT_EQ(env_ghz_override("0"), std::nullopt);      // below plausibility
+  EXPECT_EQ(env_ghz_override("100"), std::nullopt);    // above plausibility
 }
 
 TEST(Text, ScaleModeDefaults) {

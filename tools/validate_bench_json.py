@@ -9,6 +9,7 @@ so CI fails loudly instead of uploading broken artifacts.
 """
 import glob
 import json
+import math
 import os
 import sys
 
@@ -41,6 +42,9 @@ REQUIRED_METRICS = {
                   "guardband_monotone", "clean_false_alarms",
                   "drift_detected", "drift_latency_dies",
                   "drift_budget_dies"),
+    "server": ("requests_per_s", "concurrent_sessions",
+               "batched_speedup_vs_serial", "batch_mean_size",
+               "bit_identical", "cache_hit_zero_refactor"),
 }
 # Perf-regression gate: minimum dispatched-tier-over-scalar speedups, keyed
 # by bench.  Ratios cancel the runner's clock, so the floors hold on any
@@ -58,6 +62,30 @@ SPEEDUP_FLOORS = {
 }
 
 
+def reject_constant(name):
+    # Python's json module accepts bare NaN/Infinity by default; a record (or
+    # scraped metrics document) carrying one is NOT valid JSON and every
+    # strict consumer downstream would choke on it.
+    raise ValueError(f"non-finite JSON constant {name!r} (invalid JSON)")
+
+
+def strict_load(f):
+    return json.load(f, parse_constant=reject_constant)
+
+
+def check_metric_values(metrics, prefix="metrics"):
+    """Every metric scalar must be machine-consumable: numbers finite,
+    nothing unparsable hiding inside nested metric_json blocks."""
+    for key, value in metrics.items():
+        where = f"{prefix}[{key!r}]"
+        if isinstance(value, float) and not math.isfinite(value):
+            raise ValueError(f"{where} is non-finite ({value!r})")
+        if isinstance(value, dict):
+            check_metric_values(value, where)
+        elif isinstance(value, list):
+            check_metric_values(dict(enumerate(value)), where)
+
+
 def collect(args):
     paths = []
     for arg in args:
@@ -70,7 +98,7 @@ def collect(args):
 
 def validate(path):
     with open(path) as f:
-        rec = json.load(f)
+        rec = strict_load(f)
     for key in REQUIRED_KEYS:
         if key not in rec:
             raise ValueError(f"missing key {key!r}")
@@ -83,6 +111,7 @@ def validate(path):
     if not rec["metrics"]:
         raise ValueError("metrics is empty: every bench must report at least "
                          "one scalar")
+    check_metric_values(rec["metrics"])
     for metric in REQUIRED_METRICS.get(rec["bench"], ()):
         if metric not in rec["metrics"]:
             raise ValueError(f"metrics missing {metric!r} "
@@ -128,6 +157,30 @@ def validate(path):
             raise ValueError(
                 f"streaming regression: drift latency {latency} dies "
                 f"exceeds the {budget}-die budget")
+    if rec["bench"] == "server":
+        # Selection-service gate (ISSUE 8 acceptance): batched answers must
+        # be bit-identical to serial ones, a cached session must do zero
+        # re-selection work, and at default scale the panel path must beat
+        # per-request predicts by >= 2x with >= 8 concurrent sessions.
+        # (REPRO_FAST pools are too small for the speedup floor to be
+        # meaningful, so the perf half of the gate binds at default scale.)
+        met = rec["metrics"]
+        if not met["bit_identical"]:
+            raise ValueError("server regression: batched predictions are not "
+                             "bit-identical to serial predictions")
+        if not met["cache_hit_zero_refactor"]:
+            raise ValueError("server regression: a cached session repeated "
+                             "O(n*r^2) selection work on a repeat query")
+        if rec["scale_mode"] == "default":
+            sessions = int(met["concurrent_sessions"])
+            if sessions < 8:
+                raise ValueError(f"server record used {sessions} concurrent "
+                                 f"sessions (need >= 8)")
+            speedup = float(met["batched_speedup_vs_serial"])
+            if speedup < 2.0:
+                raise ValueError(
+                    f"server regression: batched_speedup_vs_serial = "
+                    f"{speedup:.3g} below the 2.0 floor at default scale")
     for key in TELEMETRY_KEYS:
         if key not in rec["telemetry"]:
             raise ValueError(f"telemetry missing {key!r}")
@@ -143,6 +196,19 @@ def validate(path):
 
 
 def main(argv):
+    if argv[1:2] == ["--raw"]:
+        # Strict-parse arbitrary JSON documents (no bench schema): used by
+        # the CI server-smoke job on scraped /metrics responses.  Rejects
+        # NaN/Infinity literals, so a non-finite gauge that leaked into the
+        # wire format fails the job.
+        for path in argv[2:]:
+            with open(path) as f:
+                strict_load(f)
+            print(f"{path}: strict JSON ok")
+        if not argv[2:]:
+            print("--raw needs at least one file", file=sys.stderr)
+            return 1
+        return 0
     paths = collect(argv[1:] or ["."])
     if not paths:
         print("no BENCH_*.json records found", file=sys.stderr)
