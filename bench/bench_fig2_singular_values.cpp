@@ -41,6 +41,9 @@ Series summarize(const core::Experiment& e, const char* label) {
 
 }  // namespace
 
+// An uncaught exception aborting through the libstdc++ terminate
+// message is an acceptable failure mode for a bench/demo binary.
+// NOLINTNEXTLINE(bugprone-exception-escape)
 int main(int argc, char** argv) {
   using namespace repro;
   bench::Harness h("fig2_singular_values", argc, argv);

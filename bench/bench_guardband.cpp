@@ -60,6 +60,9 @@ ConfigStats run_config(const std::string& name, double eps,
 
 }  // namespace
 
+// An uncaught exception aborting through the libstdc++ terminate
+// message is an acceptable failure mode for a bench/demo binary.
+// NOLINTNEXTLINE(bugprone-exception-escape)
 int main(int argc, char** argv) {
   using namespace repro;
   bench::Harness h("guardband", argc, argv);

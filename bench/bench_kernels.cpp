@@ -391,6 +391,9 @@ void run_tier_sweep(repro::bench::Harness& h) {
 // --benchmark_* flags first, then the harness takes what is left (so an
 // explicit JSON output path still works) and wraps the run in the same
 // schema-versioned record as every other bench.
+// An uncaught exception aborting through the libstdc++ terminate
+// message is an acceptable failure mode for a bench/demo binary.
+// NOLINTNEXTLINE(bugprone-exception-escape)
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   repro::bench::Harness h("kernels", argc, argv);

@@ -111,6 +111,9 @@ bool rel_close(double a, double b, double tol) {
 
 }  // namespace
 
+// An uncaught exception aborting through the libstdc++ terminate
+// message is an acceptable failure mode for a bench/demo binary.
+// NOLINTNEXTLINE(bugprone-exception-escape)
 int main(int argc, char** argv) {
   using namespace repro;
   bench::Harness h("selection_sweep", argc, argv);

@@ -324,4 +324,7 @@ int run(int argc, char** argv) {
 
 }  // namespace repro
 
+// An uncaught exception aborting through the libstdc++ terminate
+// message is an acceptable failure mode for a bench/demo binary.
+// NOLINTNEXTLINE(bugprone-exception-escape)
 int main(int argc, char** argv) { return repro::run(argc, argv); }

@@ -69,6 +69,9 @@ std::string json_gate_counts(const core::StreamStatus& s) {
 
 }  // namespace
 
+// An uncaught exception aborting through the libstdc++ terminate
+// message is an acceptable failure mode for a bench/demo binary.
+// NOLINTNEXTLINE(bugprone-exception-escape)
 int main(int argc, char** argv) {
   bench::Harness h("streaming", argc, argv);
   std::printf("=== Streaming recalibration: guard-band + drift detection on "

@@ -17,6 +17,9 @@
 #include "util/stopwatch.h"
 #include "util/text.h"
 
+// An uncaught exception aborting through the libstdc++ terminate
+// message is an acceptable failure mode for a bench/demo binary.
+// NOLINTNEXTLINE(bugprone-exception-escape)
 int main(int argc, char** argv) {
   using namespace repro;
   bench::Harness h("table2_hybrid", argc, argv);

@@ -48,6 +48,9 @@ G13 = NAND(G2, G12)
 
 }  // namespace
 
+// An uncaught exception aborting through the libstdc++ terminate
+// message is an acceptable failure mode for a bench/demo binary.
+// NOLINTNEXTLINE(bugprone-exception-escape)
 int main(int argc, char** argv) {
   circuit::Netlist nl = (argc > 1)
                             ? circuit::read_bench_file(argv[1])

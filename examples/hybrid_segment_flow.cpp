@@ -16,6 +16,9 @@
 
 using namespace repro;
 
+// An uncaught exception aborting through the libstdc++ terminate
+// message is an acceptable failure mode for a bench/demo binary.
+// NOLINTNEXTLINE(bugprone-exception-escape)
 int main(int argc, char** argv) {
   const std::string bench = argc > 1 ? argv[1] : "s1423";
   const double eps = (argc > 2 ? std::atof(argv[2]) : 8.0) / 100.0;

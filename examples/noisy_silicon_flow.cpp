@@ -25,6 +25,9 @@
 
 using namespace repro;
 
+// An uncaught exception aborting through the libstdc++ terminate
+// message is an acceptable failure mode for a bench/demo binary.
+// NOLINTNEXTLINE(bugprone-exception-escape)
 int main() {
   std::printf("=== Noisy-silicon flow: robust prediction under measurement "
               "faults ===\n\n");

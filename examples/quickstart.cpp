@@ -64,6 +64,9 @@ std::string path_string(const circuit::Netlist& nl,
 
 }  // namespace
 
+// An uncaught exception aborting through the libstdc++ terminate
+// message is an acceptable failure mode for a bench/demo binary.
+// NOLINTNEXTLINE(bugprone-exception-escape)
 int main() {
   std::printf("=== Quickstart: Figure-1 representative path selection ===\n\n");
 

@@ -147,6 +147,9 @@ void worker(const Args& args, int index, std::atomic<int>& failures) {
 
 }  // namespace
 
+// An uncaught exception aborting through the libstdc++ terminate
+// message is an acceptable failure mode for a bench/demo binary.
+// NOLINTNEXTLINE(bugprone-exception-escape)
 int main(int argc, char** argv) {
   Args args;
   if (!parse_args(argc, argv, args)) {

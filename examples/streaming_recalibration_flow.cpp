@@ -28,6 +28,9 @@
 
 using namespace repro;
 
+// An uncaught exception aborting through the libstdc++ terminate
+// message is an acceptable failure mode for a bench/demo binary.
+// NOLINTNEXTLINE(bugprone-exception-escape)
 int main() {
   std::printf("=== Streaming recalibration: robust gating, guard-bands, "
               "drift ===\n\n");

@@ -82,6 +82,9 @@ void gemm_packed(std::size_t m, std::size_t k, std::size_t n,
   const simd::KernelOps& t = simd::ops();
   const std::size_t mr = t.mr, nr = t.nr;
   const std::size_t ldc = c.cols();
+  // One B-panel buffer per gemm call, fixed kKc*kNc geometry, reused across
+  // every block — amortized over the whole product, not per-element work.
+  // repro-lint: allow(hot-path-alloc)
   std::vector<double> bpack(kKc * kNc);
   for (std::size_t jc = 0; jc < n; jc += kNc) {
     const std::size_t nc = std::min(kNc, n - jc);
@@ -99,7 +102,11 @@ void gemm_packed(std::size_t m, std::size_t k, std::size_t n,
       }
       const std::size_t nblocks = (m + kMc - 1) / kMc;
       const auto run_blocks = [&](std::size_t bb, std::size_t be) {
+        // Chunk-local A panel and edge-tile scratch: one allocation per
+        // pool task, amortized over the task's whole row-block range.
+        // repro-lint: allow(hot-path-alloc)
         std::vector<double> apack(kMc * kc);
+        // repro-lint: allow(hot-path-alloc)
         std::vector<double> tmp(mr * nr);
         for (std::size_t blk = bb; blk < be; ++blk) {
           const std::size_t i0 = blk * kMc;

@@ -1,5 +1,10 @@
 #include "linalg/simd/dispatch.h"
 
+// This TU is dispatch plumbing, not kernels: everything that allocates here
+// (the REPRO_KERNEL override string, the available_tiers diagnostic list)
+// runs once at startup or from tests — never on the GEMM hot path.
+// repro-lint: allow-file(hot-path-alloc)
+
 #include <atomic>
 #include <cstdlib>
 #include <mutex>

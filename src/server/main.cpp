@@ -12,6 +12,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <string>
 
 #include "server/server.h"
@@ -29,26 +30,34 @@ void handle_signal(int) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string path = "/tmp/repro_selection.sock";
-  if (argc > 1) path = argv[1];
-  if (argc > 2 || path == "--help" || path == "-h") {
-    std::fprintf(stderr, "usage: selection_serverd [socket-path]\n");
-    return argc > 2 ? 2 : 0;
-  }
+  // A daemon must never die through std::terminate: report and exit
+  // nonzero so supervisors see a failure, not an abort.
+  try {
+    std::string path = "/tmp/repro_selection.sock";
+    if (argc > 1) path = argv[1];
+    if (argc > 2 || path == "--help" || path == "-h") {
+      std::fprintf(stderr, "usage: selection_serverd [socket-path]\n");
+      return argc > 2 ? 2 : 0;
+    }
 
-  repro::server::Server server;
-  if (!server.listen(path)) {
-    std::fprintf(stderr, "selection_serverd: cannot listen on %s: %s\n",
-                 path.c_str(), std::strerror(errno));
+    repro::server::Server server;
+    if (!server.listen(path)) {
+      std::fprintf(stderr, "selection_serverd: cannot listen on %s: %s\n",
+                   path.c_str(), std::strerror(errno));
+      return 1;
+    }
+    g_server = &server;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    std::printf("selection_serverd: listening on %s\n", path.c_str());
+    std::fflush(stdout);
+    server.run();
+    g_server = nullptr;
+    std::printf("selection_serverd: drained, exiting\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "selection_serverd: fatal: %s\n", e.what());
     return 1;
   }
-  g_server = &server;
-  std::signal(SIGINT, handle_signal);
-  std::signal(SIGTERM, handle_signal);
-
-  std::printf("selection_serverd: listening on %s\n", path.c_str());
-  std::fflush(stdout);
-  server.run();
-  std::printf("selection_serverd: drained, exiting\n");
-  return 0;
 }

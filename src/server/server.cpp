@@ -196,14 +196,23 @@ void Server::stop() {
 }
 
 void Server::reap_finished() {
-  std::lock_guard<std::mutex> lk(conns_mu_);
-  for (std::size_t i = 0; i < conns_.size();) {
-    if (conns_[i]->done.load()) {
-      if (conns_[i]->thread.joinable()) conns_[i]->thread.join();
-      conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
-    } else {
-      ++i;
+  // Unlink finished connections under the lock, join outside it: a join is
+  // a blocking wait, and holding conns_mu_ through it would stall drain()
+  // and the acceptor against a strand that is still flushing its goodbye.
+  std::vector<std::unique_ptr<Conn>> finished;
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (std::size_t i = 0; i < conns_.size();) {
+      if (conns_[i]->done.load()) {
+        finished.push_back(std::move(conns_[i]));
+        conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
     }
+  }
+  for (const auto& c : finished) {
+    if (c->thread.joinable()) c->thread.join();
   }
 }
 
@@ -630,21 +639,30 @@ std::optional<Server::OpError> Server::do_observe(
   }
   std::vector<char> mask(valid.begin(), valid.end());
   std::lock_guard<std::mutex> lk(s->stream_mu);
-  const core::DieRecord rec = s->calibrator->observe(
-      s->next_die++, measured,
-      mask.empty() ? std::span<const char>{}
-                   : std::span<const char>(mask.data(), mask.size()));
-  out.accepted = rec.accepted;
-  out.gate = static_cast<std::uint8_t>(rec.gate);
-  out.health = static_cast<std::uint8_t>(rec.prediction_health);
-  out.drift_flagged = rec.drift_flagged;
-  out.drift_score = rec.drift_score;
-  out.guardband = rec.guardband;
-  out.predicted.resize(rec.predicted.size());
-  for (std::size_t i = 0; i < rec.predicted.size(); ++i) {
-    out.predicted[i] = rec.predicted[i];
+  // Same exception boundary as do_open: a contract violation or bad_alloc
+  // inside the calibrator must become a kInternal reply, not unwind through
+  // the reader strand (which would terminate the whole server).
+  try {
+    const core::DieRecord rec = s->calibrator->observe(
+        s->next_die++, measured,
+        mask.empty() ? std::span<const char>{}
+                     : std::span<const char>(mask.data(), mask.size()));
+    out.accepted = rec.accepted;
+    out.gate = static_cast<std::uint8_t>(rec.gate);
+    out.health = static_cast<std::uint8_t>(rec.prediction_health);
+    out.drift_flagged = rec.drift_flagged;
+    out.drift_score = rec.drift_score;
+    out.guardband = rec.guardband;
+    out.predicted.resize(rec.predicted.size());
+    for (std::size_t i = 0; i < rec.predicted.size(); ++i) {
+      out.predicted[i] = rec.predicted[i];
+    }
+    return std::nullopt;
+  } catch (const std::exception& e) {
+    return OpError{ErrorCode::kInternal, e.what()};
+  } catch (...) {
+    return OpError{ErrorCode::kInternal, "observe failed"};
   }
-  return std::nullopt;
 }
 
 std::optional<Server::OpError> Server::do_session_info(std::uint32_t session,

@@ -26,8 +26,11 @@ bool PredictBatcher::predict_block(
 
   std::unique_lock<std::mutex> lk(mu_);
   queue_.push_back(&mine);
-  // Wait for an active leader to answer us, or inherit leadership.
-  while (!mine.done && leader_active_) cv_.wait(lk);
+  // Wait for an active leader to answer us, or inherit leadership.  The
+  // predicate form re-checks the protocol state on every wakeup, so a
+  // spurious wakeup (or a notify consumed out of order) can never leak a
+  // follower out of the wait with stale state.
+  cv_.wait(lk, [&] { return mine.done || !leader_active_; });
   if (mine.done) return !mine.failed;
 
   leader_active_ = true;
@@ -47,18 +50,21 @@ bool PredictBatcher::predict_block(
     dies_ += total;
     lk.unlock();
 
-    const std::size_t n_meas = predictor_->mu_meas.size();
-    linalg::Matrix panel(total, n_meas);
-    std::size_t at = 0;
-    for (const Pending* p : batch) {
-      for (const std::vector<double>& in : *p->ins) {
-        const auto row = panel.row(at++);
-        for (std::size_t j = 0; j < n_meas; ++j) row[j] = in[j];
-      }
-    }
     bool failed = false;
     linalg::Matrix result;
+    std::size_t at = 0;
+    // The try spans the whole unlocked compute section, panel assembly
+    // included: if anything here threw outside the try, the batch would
+    // never be marked done and every queued follower would wait forever.
     try {
+      const std::size_t n_meas = predictor_->mu_meas.size();
+      linalg::Matrix panel(total, n_meas);
+      for (const Pending* p : batch) {
+        for (const std::vector<double>& in : *p->ins) {
+          const auto row = panel.row(at++);
+          for (std::size_t j = 0; j < n_meas; ++j) row[j] = in[j];
+        }
+      }
       result = core::predict_panel(*predictor_, panel);
     } catch (...) {
       failed = true;

@@ -1,0 +1,8 @@
+// Helper TU for blocking_lock_bad.cpp: clean on its own (no lock held
+// here), but it blocks — so a caller holding a lock inherits a
+// blocking-under-lock finding through the cross-TU call graph.
+#include <string>
+
+bool send_all_frames(int fd, const std::string& buf) {
+  return send_all(fd, buf.data(), buf.size());
+}

@@ -1,0 +1,38 @@
+// Deliberate blocking-under-lock violations: a socket write inside a
+// critical section, both directly and through a helper defined in another
+// fixture TU (blocking_helper.cpp) — the latter is only visible to the
+// cross-TU call graph.  The third method shows the suppression etiquette
+// for a reviewed, by-design wait under a private lock.
+#include <mutex>
+#include <string>
+
+bool send_all_frames(int fd, const std::string& buf);
+
+class Outbox {
+ public:
+  void flush_locked(int fd);
+  void enqueue_and_send(int fd);
+  void single_flight(int fd);
+
+ private:
+  std::mutex outbox_mu_;
+  std::string buf_;
+};
+
+void Outbox::flush_locked(int fd) {
+  std::lock_guard<std::mutex> lk(outbox_mu_);
+  send_all(fd, buf_.data(), buf_.size());  // blocking-under-lock: direct
+}
+
+void Outbox::enqueue_and_send(int fd) {
+  std::lock_guard<std::mutex> lk(outbox_mu_);
+  send_all_frames(fd, buf_);  // blocking-under-lock: via blocking_helper.cpp
+}
+
+void Outbox::single_flight(int fd) {
+  std::lock_guard<std::mutex> lk(outbox_mu_);
+  // By design: peers must wait for this send to finish (single-flight),
+  // and outbox_mu_ protects nothing else.
+  // repro-lint: allow(blocking-under-lock)
+  send_all(fd, buf_.data(), buf_.size());
+}

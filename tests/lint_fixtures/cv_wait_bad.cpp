@@ -1,0 +1,20 @@
+// Deliberate condition-variable misuse: wait without a predicate.  A
+// spurious wakeup (or a notify that raced ahead of the wait) leaks the
+// thread out of the loop with the condition still false.
+#include <condition_variable>
+#include <mutex>
+
+class LeakyGate {
+ public:
+  void pass();
+
+ private:
+  std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
+  bool open_ = false;
+};
+
+void LeakyGate::pass() {
+  std::unique_lock<std::mutex> lk(gate_mu_);
+  gate_cv_.wait(lk);  // cv-wait-predicate: no predicate overload
+}

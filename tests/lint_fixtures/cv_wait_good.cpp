@@ -1,0 +1,19 @@
+// Counterpart of cv_wait_bad.cpp: the predicate overload re-checks the
+// protocol state on every wakeup, so spurious wakeups are harmless.
+#include <condition_variable>
+#include <mutex>
+
+class SafeGate {
+ public:
+  void pass();
+
+ private:
+  std::mutex safe_mu_;
+  std::condition_variable safe_cv_;
+  bool open_ = false;
+};
+
+void SafeGate::pass() {
+  std::unique_lock<std::mutex> lk(safe_mu_);
+  safe_cv_.wait(lk, [&] { return open_; });
+}

@@ -1,0 +1,30 @@
+// Deliberate lock-order violations: two code paths take the same pair of
+// mutexes in opposite orders (the classic AB/BA deadlock), plus one path
+// that re-locks a mutex it already holds.
+#include <mutex>
+
+class InvertedPair {
+ public:
+  void lock_ab();
+  void lock_ba();
+  void relock();
+
+ private:
+  std::mutex order_a_;
+  std::mutex order_b_;
+};
+
+void InvertedPair::lock_ab() {
+  std::lock_guard<std::mutex> la(order_a_);
+  std::lock_guard<std::mutex> lb(order_b_);  // lock-order: a_ -> b_ edge
+}
+
+void InvertedPair::lock_ba() {
+  std::lock_guard<std::mutex> lb(order_b_);
+  std::lock_guard<std::mutex> la(order_a_);  // lock-order: b_ -> a_ edge
+}
+
+void InvertedPair::relock() {
+  std::lock_guard<std::mutex> l1(order_a_);
+  std::lock_guard<std::mutex> l2(order_a_);  // lock-order: self-deadlock
+}

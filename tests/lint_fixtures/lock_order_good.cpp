@@ -1,0 +1,25 @@
+// Counterpart of lock_order_bad.cpp: every path agrees on one global
+// acquisition order (a before b), and the hand-off path drops the first
+// lock before taking the second — no cycle, no finding.
+#include <mutex>
+
+class OrderedPair {
+ public:
+  void both();
+  void handoff();
+
+ private:
+  std::mutex ordered_a_;
+  std::mutex ordered_b_;
+};
+
+void OrderedPair::both() {
+  std::lock_guard<std::mutex> la(ordered_a_);
+  std::lock_guard<std::mutex> lb(ordered_b_);
+}
+
+void OrderedPair::handoff() {
+  std::unique_lock<std::mutex> la(ordered_a_);
+  la.unlock();
+  std::lock_guard<std::mutex> lb(ordered_b_);
+}

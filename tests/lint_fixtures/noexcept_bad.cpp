@@ -1,0 +1,13 @@
+// Deliberate noexcept-boundary violation: a noexcept function reaches a
+// throwing callee with no try/catch in between — the throw would call
+// std::terminate.
+#include <stdexcept>
+
+int parse_positive(int v) {
+  if (v < 0) throw std::invalid_argument("negative");
+  return v;
+}
+
+int checked_total(int a, int b) noexcept {  // noexcept-boundary
+  return parse_positive(a) + parse_positive(b);
+}

@@ -1,0 +1,16 @@
+// Counterpart of noexcept_bad.cpp: the boundary catches everything its
+// throwing callee can produce, so nothing can escape the noexcept frame.
+#include <stdexcept>
+
+int parse_positive_checked(int v) {
+  if (v < 0) throw std::invalid_argument("negative");
+  return v;
+}
+
+int checked_total_guarded(int a, int b) noexcept {
+  try {
+    return parse_positive_checked(a) + parse_positive_checked(b);
+  } catch (...) {
+    return 0;
+  }
+}

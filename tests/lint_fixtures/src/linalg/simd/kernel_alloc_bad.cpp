@@ -1,0 +1,16 @@
+// Deliberate hot-path-alloc violations: a micro-kernel that allocates its
+// scratch buffer per call and grows a vector inside the element loop.  The
+// path lives under src/linalg/simd/ so the default hot_alloc_dirs filter
+// applies, mirroring the contracts fixture trick.
+#include <cstddef>
+#include <vector>
+
+void accumulate_tile(const double* x, double* out, std::size_t n) {
+  std::vector<double> tmp(n);  // hot-path-alloc: per-call scratch
+  std::vector<double> history;
+  for (std::size_t i = 0; i < n; ++i) {
+    tmp[i] = x[i] * 2.0;
+    history.push_back(tmp[i]);  // hot-path-alloc: growth in the element loop
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] += tmp[i];
+}

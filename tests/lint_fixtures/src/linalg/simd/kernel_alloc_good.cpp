@@ -1,0 +1,10 @@
+// Counterpart of kernel_alloc_bad.cpp: the kernel works entirely in
+// caller-provided storage — scratch is passed in, output is written in
+// place, nothing allocates.
+#include <cstddef>
+
+void accumulate_tile_inplace(const double* x, double* scratch, double* out,
+                             std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) scratch[i] = x[i] * 2.0;
+  for (std::size_t i = 0; i < n; ++i) out[i] += scratch[i];
+}

@@ -44,11 +44,20 @@ TEST(ReproLint, FixtureCountsAreExact) {
   EXPECT_EQ(counts.at("banned-include"), 2);
   EXPECT_EQ(counts.at("include-order"), 2);
   EXPECT_EQ(counts.at("simd-confinement"), 5);
-  EXPECT_EQ(report.findings.size(), 19u);
-  // One determinism allow(), one contracts allow(), and one
-  // simd-confinement allow() in the fixtures.
-  EXPECT_EQ(report.suppressed, 3);
-  EXPECT_EQ(report.files_scanned, 5);
+  // Cross-TU checks: AB/BA cycle (one finding per inverted edge) plus a
+  // self-deadlocking re-lock; a direct send under lock plus one reached
+  // through blocking_helper.cpp; and two allocation sites in the kernel
+  // fixture.
+  EXPECT_EQ(counts.at("lock-order"), 3);
+  EXPECT_EQ(counts.at("blocking-under-lock"), 2);
+  EXPECT_EQ(counts.at("cv-wait-predicate"), 1);
+  EXPECT_EQ(counts.at("noexcept-boundary"), 1);
+  EXPECT_EQ(counts.at("hot-path-alloc"), 2);
+  EXPECT_EQ(report.findings.size(), 28u);
+  // One determinism allow(), one contracts allow(), one simd-confinement
+  // allow(), and one blocking-under-lock allow() in the fixtures.
+  EXPECT_EQ(report.suppressed, 4);
+  EXPECT_EQ(report.files_scanned, 15);
 }
 
 TEST(ReproLint, EveryCheckHasAFixtureTruePositive) {
@@ -56,10 +65,40 @@ TEST(ReproLint, EveryCheckHasAFixtureTruePositive) {
   const std::map<std::string, int> counts = count_by_check(report);
   for (const char* check :
        {"determinism", "parallel-rng", "parallel-telemetry", "contracts",
-        "pragma-once", "banned-include", "include-order",
-        "simd-confinement"}) {
+        "pragma-once", "banned-include", "include-order", "simd-confinement",
+        "lock-order", "blocking-under-lock", "cv-wait-predicate",
+        "noexcept-boundary", "hot-path-alloc"}) {
     EXPECT_GT(counts.count(check), 0u) << "no true positive for " << check;
   }
+}
+
+// Every *_good.cpp fixture is the clean counterpart of a bad one: the checks
+// must stay silent on the idiomatic pattern, or they are unusable as gates.
+TEST(ReproLint, GoodFixturesAreClean) {
+  const Report report = repro_lint::run_lint(fixture_options());
+  for (const Finding& f : report.findings) {
+    EXPECT_EQ(f.file.find("_good."), std::string::npos)
+        << f.file << ":" << f.line << " [" << f.check << "] " << f.message;
+  }
+}
+
+// The blocking-under-lock finding that goes through blocking_helper.cpp must
+// report the cross-TU call chain: the frame under the lock, then the helper
+// frame in the other file that actually blocks.
+TEST(ReproLint, CrossTuFindingReportsCallChain) {
+  const Report report = repro_lint::run_lint(fixture_options());
+  bool seen = false;
+  for (const Finding& f : report.findings) {
+    if (f.check != "blocking-under-lock" ||
+        f.message.find("send_all_frames") == std::string::npos) {
+      continue;
+    }
+    seen = true;
+    ASSERT_GE(f.chain.size(), 2u);
+    EXPECT_NE(f.chain[0].find("blocking_lock_bad.cpp"), std::string::npos);
+    EXPECT_NE(f.chain[1].find("blocking_helper.cpp"), std::string::npos);
+  }
+  EXPECT_TRUE(seen) << "cross-TU blocking finding missing";
 }
 
 TEST(ReproLint, DeterminismFlagsBannedSourcesNotSteadyClock) {
@@ -157,6 +196,59 @@ TEST(ReproLint, SimdConfinementScopedToSimdDirs) {
   for (const Finding& f : confined.findings) {
     EXPECT_EQ(f.check, "simd-confinement");
   }
+}
+
+// Regression: unlock-then-relock of the same unique_lock (the PredictBatcher
+// leader pattern) must not read as acquiring a mutex that is already held.
+TEST(ReproLint, RelockAfterUnlockIsNotSelfDeadlock) {
+  Options options;
+  const Report report = repro_lint::lint_source(
+      "probe.cpp",
+      "#include <mutex>\n"
+      "std::mutex mu;\n"
+      "void pump() {\n"
+      "  std::unique_lock<std::mutex> lk(mu);\n"
+      "  lk.unlock();\n"
+      "  lk.lock();\n"
+      "}\n",
+      options);
+  EXPECT_TRUE(report.findings.empty());
+}
+
+// Regression: C++14 digit separators (65'536) must not open a char-literal
+// scan that swallows the rest of the file — the hot-path-alloc finding after
+// the literal has to survive.
+TEST(ReproLint, DigitSeparatorDoesNotSwallowSource) {
+  Options options;
+  const Report report = repro_lint::lint_source(
+      "src/linalg/simd/probe.cpp",
+      "#include <vector>\n"
+      "constexpr int kBlock = 65'536;\n"
+      "void kernel(std::vector<double>& out) { out.push_back(0.0); }\n",
+      options);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].check, "hot-path-alloc");
+  EXPECT_EQ(report.findings[0].line, 3);
+}
+
+// hot-path-alloc keys on configured directories and function names; the same
+// allocation elsewhere is fine.
+TEST(ReproLint, HotPathAllocScopedToKernelDirsAndFunctions) {
+  Options options;
+  const std::string body =
+      "#include <vector>\n"
+      "void helper(std::vector<double>& out) { out.push_back(0.0); }\n";
+  const Report outside =
+      repro_lint::lint_source("src/core/probe.cpp", body, options);
+  EXPECT_TRUE(outside.findings.empty());
+
+  const Report named = repro_lint::lint_source(
+      "src/core/probe.cpp",
+      "#include <vector>\n"
+      "void gemm_packed(std::vector<double>& out) { out.push_back(0.0); }\n",
+      options);
+  ASSERT_EQ(named.findings.size(), 1u);
+  EXPECT_EQ(named.findings[0].check, "hot-path-alloc");
 }
 
 TEST(ReproLint, CliExitCodes) {

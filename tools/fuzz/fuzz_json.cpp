@@ -1,0 +1,70 @@
+// Fuzz harness for the strict JSON parser (src/util/json.h).  The server's
+// line-delimited debugging front end feeds it raw client bytes, so parse()
+// must never crash, hang, or recurse past its 64-level limit on any input.
+//
+// On accepted documents the harness walks the whole tree (touching every
+// node the parser built) and exercises the lookup helpers; on rejected
+// input it requires a non-empty error message.  The first 8 input bytes
+// also drive json_double's round-trip contract: the rendering of a finite
+// double must strtod back to the identical bit pattern, and non-finite
+// values must render as "null".
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/json.h"
+
+namespace {
+
+using repro::util::json::Value;
+
+void require(bool ok) {
+  if (!ok) std::abort();
+}
+
+std::size_t walk(const Value& v, std::size_t depth) {
+  require(depth <= 64);  // parse() promises to reject deeper nesting
+  std::size_t nodes = 1;
+  for (const Value& item : v.items) nodes += walk(item, depth + 1);
+  for (const auto& [key, member] : v.members) {
+    // Strict parsing rejects duplicate keys, so lookup by the stored key
+    // must find exactly this member.
+    require(v.find(key) != nullptr);
+    nodes += walk(member, depth + 1);
+  }
+  (void)v.number_or("epsilon", 0.0);
+  (void)v.string_or("benchmark", "");
+  return nodes;
+}
+
+void check_json_double(const std::uint8_t* data, std::size_t size) {
+  if (size < 8) return;
+  double d;
+  std::memcpy(&d, data, 8);
+  const std::string s = repro::util::json::json_double(d);
+  if (std::isfinite(d)) {
+    const double back = std::strtod(s.c_str(), nullptr);
+    require(std::memcmp(&back, &d, 8) == 0);
+  } else {
+    require(s == "null");
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  Value v;
+  std::string error;
+  if (repro::util::json::parse(text, v, error)) {
+    (void)walk(v, 0);
+  } else {
+    require(!error.empty());
+  }
+  check_json_double(data, size);
+  return 0;
+}

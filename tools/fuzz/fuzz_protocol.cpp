@@ -1,0 +1,137 @@
+// Fuzz harness for the wire protocol (src/server/protocol.h): every payload
+// decoder plus the frame reader.  These parse bytes straight off a socket,
+// so they are the repository's primary untrusted-input surface — the header
+// promises "never a crash, never a hang" and this harness holds it to that.
+//
+// Beyond not crashing, successful decodes are checked for encode/decode
+// idempotence: decode(x) -> encode -> decode must succeed and re-encode to
+// the same bytes.  (encode(decode(x)) == x does NOT hold in general — a
+// decoder may accept a payload and stop before trailing bytes it rejects —
+// so the harness asserts the fixed point, not inversion.)
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "server/protocol.h"
+#include "util/socket.h"
+
+namespace {
+
+using namespace repro::server;
+
+void require(bool ok) {
+  if (!ok) std::abort();  // the fuzzer treats abort as a finding
+}
+
+void check_open_session(std::string_view payload) {
+  SessionConfig cfg;
+  if (!decode_open_session(payload, cfg)) return;
+  const std::string re = encode_open_session(cfg);
+  SessionConfig cfg2;
+  require(decode_open_session(re, cfg2));
+  require(encode_open_session(cfg2) == re);
+}
+
+void check_session_info(std::string_view payload) {
+  SessionInfo info;
+  if (!decode_session_info(payload, info)) return;
+  const std::string re = encode_session_info(info);
+  SessionInfo info2;
+  require(decode_session_info(re, info2));
+  require(encode_session_info(info2) == re);
+}
+
+void check_predict(std::string_view payload) {
+  std::uint32_t session = 0;
+  std::vector<double> measured;
+  if (!decode_predict(payload, session, measured)) return;
+  const std::string re = encode_predict(session, measured);
+  std::uint32_t s2 = 0;
+  std::vector<double> m2;
+  require(decode_predict(re, s2, m2));
+  require(encode_predict(s2, m2) == re);
+}
+
+void check_observe(std::string_view payload) {
+  std::uint32_t session = 0;
+  std::vector<double> measured;
+  std::vector<std::uint8_t> valid;
+  if (!decode_observe(payload, session, measured, valid)) return;
+  const std::string re = encode_observe(session, measured, valid);
+  std::uint32_t s2 = 0;
+  std::vector<double> m2;
+  std::vector<std::uint8_t> v2;
+  require(decode_observe(re, s2, m2, v2));
+  require(encode_observe(s2, m2, v2) == re);
+}
+
+void check_f64_vector(std::string_view payload) {
+  std::vector<double> v;
+  if (!decode_f64_vector(payload, v)) return;
+  const std::string re = encode_f64_vector(v);
+  std::vector<double> v2;
+  require(decode_f64_vector(re, v2));
+  require(encode_f64_vector(v2) == re);
+}
+
+void check_observe_outcome(std::string_view payload) {
+  ObserveOutcome o;
+  if (!decode_observe_outcome(payload, o)) return;
+  const std::string re = encode_observe_outcome(o);
+  ObserveOutcome o2;
+  require(decode_observe_outcome(re, o2));
+  require(encode_observe_outcome(o2) == re);
+}
+
+void check_error(std::string_view payload) {
+  ErrorCode code{};
+  std::string message;
+  if (!decode_error(payload, code, message)) return;
+  const std::string re = encode_error(code, message);
+  ErrorCode c2{};
+  std::string m2;
+  require(decode_error(re, c2, m2));
+  require(encode_error(c2, m2) == re);
+}
+
+// Frame-level: feed the raw bytes through a socketpair so read_frame sees
+// them exactly as it would from a client, then drain until EOF/violation.
+// AF_UNIX socket buffers hold ~200 KB; inputs are capped well below so the
+// single send never blocks against our own reader.
+void check_frame_stream(const std::uint8_t* data, std::size_t size) {
+  if (size > 60000) return;
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return;
+  (void)::send(sv[1], data, size, 0);
+  ::close(sv[1]);  // EOF after the payload: read_frame must terminate
+  repro::util::BufferedReader in(sv[0]);
+  Frame frame;
+  for (int frames = 0; frames < 4096; ++frames) {
+    (void)has_complete_buffered_frame(in);
+    if (read_frame(in, frame) != FrameReadStatus::kOk) break;
+    require(frame.payload.size() <= kMaxFrameLen);
+  }
+  ::close(sv[0]);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view payload(reinterpret_cast<const char*>(data), size);
+  check_open_session(payload);
+  check_session_info(payload);
+  check_predict(payload);
+  check_observe(payload);
+  check_f64_vector(payload);
+  check_observe_outcome(payload);
+  check_error(payload);
+  check_frame_stream(data, size);
+  return 0;
+}

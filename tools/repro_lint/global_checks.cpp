@@ -1,0 +1,456 @@
+#include "global_checks.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+
+namespace repro_lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Resolution: raw expression text -> stable whole-program keys.
+// ---------------------------------------------------------------------------
+
+bool is_bare_ident(const std::string& expr) {
+  if (expr.empty()) return false;
+  for (char c : expr) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+
+std::string last_member(const std::string& expr) {
+  std::size_t pos = expr.size();
+  while (pos > 0) {
+    const char c = expr[pos - 1];
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') break;
+    --pos;
+  }
+  return expr.substr(pos);
+}
+
+// The class (if exactly one) declaring a mutex member with this name.
+const std::string* unique_mutex_class(const Index& index,
+                                      const std::string& member) {
+  const std::string* found = nullptr;
+  for (const auto& [cls, info] : index.classes) {
+    if (info.mutex_members.count(member)) {
+      if (found) return nullptr;  // ambiguous
+      found = &cls;
+    }
+  }
+  return found;
+}
+
+// Maps a raw mutex expression from `fn` to a whole-program identity key.
+// Resolution order: function-local declaration, enclosing-class member,
+// globally-unique member name, file-scope variable, then a file:expression
+// fallback that at least keeps distinct expressions distinct.
+std::string resolve_mutex(const Index& index, const FunctionInfo& fn,
+                          const std::string& expr) {
+  if (is_bare_ident(expr)) {
+    if (fn.local_mutexes.count(expr)) {
+      return fn.file + ":" + fn.qualified + ":" + expr;
+    }
+    if (!fn.cls.empty()) {
+      const auto it = index.classes.find(fn.cls);
+      if (it != index.classes.end() && it->second.mutex_members.count(expr)) {
+        return fn.cls + "::" + expr;
+      }
+    }
+    if (const std::string* cls = unique_mutex_class(index, expr)) {
+      return *cls + "::" + expr;
+    }
+    const auto fit = index.file_mutexes.find(fn.file);
+    if (fit != index.file_mutexes.end() && fit->second.count(expr)) {
+      return fn.file + ":" + expr;
+    }
+    return fn.file + ":" + expr;
+  }
+  const std::string member = last_member(expr);
+  if (!member.empty()) {
+    if (const std::string* cls = unique_mutex_class(index, member)) {
+      return *cls + "::" + member;
+    }
+  }
+  return fn.file + ":" + expr;
+}
+
+std::vector<std::string> resolve_held(const Index& index,
+                                      const FunctionInfo& fn,
+                                      const std::vector<std::string>& held) {
+  std::vector<std::string> out;
+  for (const std::string& h : held) {
+    const std::string key = resolve_mutex(index, fn, h);
+    if (std::find(out.begin(), out.end(), key) == out.end()) {
+      out.push_back(key);
+    }
+  }
+  return out;
+}
+
+// Maps an Event::kCall detail to candidate function indices.  Unresolvable
+// or ambiguous names (same simple name on unrelated classes) resolve to
+// nothing — the analyses assume unknown callees neither block nor throw.
+std::vector<std::size_t> resolve_callees(const Index& index,
+                                         const FunctionInfo& fn,
+                                         const std::string& detail) {
+  auto exact = [&](const std::string& q) -> const std::vector<std::size_t>* {
+    const auto it = index.by_qualified.find(q);
+    return it == index.by_qualified.end() ? nullptr : &it->second;
+  };
+  const std::size_t sep = detail.find("::");
+  if (sep != std::string::npos) {
+    if (const auto* v = exact(detail)) return *v;
+    return {};
+  }
+  std::string simple = detail;
+  const bool member = !simple.empty() && simple[0] == '.';
+  if (member) simple.erase(0, 1);
+  if (!member) {
+    // Bare call: a method of the enclosing class shadows free functions.
+    if (!fn.cls.empty()) {
+      if (const auto* v = exact(fn.cls + "::" + simple)) return *v;
+    }
+    if (const auto* v = exact(simple)) return *v;
+  }
+  // Fall back to the simple-name table, but only when every candidate is
+  // the same function (overload set of one qualified name).
+  const auto it = index.by_simple.find(simple);
+  if (it == index.by_simple.end()) return {};
+  std::set<std::string> quals;
+  for (std::size_t i : it->second) quals.insert(index.functions[i].qualified);
+  if (quals.size() == 1) return it->second;
+  return {};
+}
+
+std::string frame(const FunctionInfo& fn, int line) {
+  return fn.qualified + " (" + fn.file + ":" + std::to_string(line) + ")";
+}
+
+std::string join_keys(const std::vector<std::string>& keys) {
+  std::string out;
+  for (const std::string& k : keys) {
+    if (!out.empty()) out += ", ";
+    out += "'" + k + "'";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Fixpoints: can_block / can_throw / transitive lock acquisition, each with
+// a witness chain.  Memoized DFS; recursion cycles are cut by treating an
+// in-progress function as not-yet-known (sound for "may" analyses seeded by
+// at least one concrete site).
+// ---------------------------------------------------------------------------
+
+struct Analysis {
+  const Index& index;
+  // 0 unknown, 1 computing, 2 done.
+  std::vector<int> block_state, throw_state, acq_state;
+  std::vector<bool> blocks, throws;
+  std::vector<std::vector<std::string>> block_chain, throw_chain;
+  // mutex key -> witness chain of the acquisition (frames outer->inner).
+  std::vector<std::map<std::string, std::vector<std::string>>> acquires;
+
+  explicit Analysis(const Index& idx)
+      : index(idx),
+        block_state(idx.functions.size(), 0),
+        throw_state(idx.functions.size(), 0),
+        acq_state(idx.functions.size(), 0),
+        blocks(idx.functions.size(), false),
+        throws(idx.functions.size(), false),
+        block_chain(idx.functions.size()),
+        throw_chain(idx.functions.size()),
+        acquires(idx.functions.size()) {}
+
+  bool can_block(std::size_t i) {
+    if (block_state[i] == 2) return blocks[i];
+    if (block_state[i] == 1) return false;  // cycle cut
+    block_state[i] = 1;
+    const FunctionInfo& fn = index.functions[i];
+    for (const Event& e : fn.events) {
+      if (e.type == Event::Type::kBlocking) {
+        blocks[i] = true;
+        block_chain[i] = {frame(fn, e.line) + " blocks in '" + e.detail +
+                          "'"};
+        break;
+      }
+      if (e.type == Event::Type::kCall) {
+        for (std::size_t c : resolve_callees(index, fn, e.detail)) {
+          if (c != i && can_block(c)) {
+            blocks[i] = true;
+            block_chain[i].push_back(frame(fn, e.line));
+            block_chain[i].insert(block_chain[i].end(),
+                                  block_chain[c].begin(),
+                                  block_chain[c].end());
+            break;
+          }
+        }
+        if (blocks[i]) break;
+      }
+    }
+    block_state[i] = 2;
+    return blocks[i];
+  }
+
+  bool can_throw(std::size_t i) {
+    if (throw_state[i] == 2) return throws[i];
+    if (throw_state[i] == 1) return false;
+    throw_state[i] = 1;
+    const FunctionInfo& fn = index.functions[i];
+    for (const Event& e : fn.events) {
+      if (e.protected_by_try) continue;
+      if (e.type == Event::Type::kThrow) {
+        throws[i] = true;
+        throw_chain[i] = {frame(fn, e.line) + " throws ('" + e.detail +
+                          "')"};
+        break;
+      }
+      if (e.type == Event::Type::kCall) {
+        for (std::size_t c : resolve_callees(index, fn, e.detail)) {
+          if (c != i && can_throw(c)) {
+            throws[i] = true;
+            throw_chain[i].push_back(frame(fn, e.line));
+            throw_chain[i].insert(throw_chain[i].end(),
+                                  throw_chain[c].begin(),
+                                  throw_chain[c].end());
+            break;
+          }
+        }
+        if (throws[i]) break;
+      }
+    }
+    throw_state[i] = 2;
+    return throws[i];
+  }
+
+  const std::map<std::string, std::vector<std::string>>& acquired(
+      std::size_t i) {
+    static const std::map<std::string, std::vector<std::string>> empty;
+    if (acq_state[i] == 2) return acquires[i];
+    if (acq_state[i] == 1) return empty;
+    acq_state[i] = 1;
+    const FunctionInfo& fn = index.functions[i];
+    for (const Event& e : fn.events) {
+      if (e.type == Event::Type::kAcquire) {
+        const std::string key = resolve_mutex(index, fn, e.detail);
+        acquires[i].emplace(key, std::vector<std::string>{
+                                     frame(fn, e.line) + " acquires '" + key +
+                                     "'"});
+      } else if (e.type == Event::Type::kCall) {
+        for (std::size_t c : resolve_callees(index, fn, e.detail)) {
+          if (c == i) continue;
+          for (const auto& [key, chain] : acquired(c)) {
+            auto [it, inserted] =
+                acquires[i].emplace(key, std::vector<std::string>{});
+            if (inserted) {
+              it->second.push_back(frame(fn, e.line));
+              it->second.insert(it->second.end(), chain.begin(), chain.end());
+            }
+          }
+        }
+      }
+    }
+    acq_state[i] = 2;
+    return acquires[i];
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Checks.
+// ---------------------------------------------------------------------------
+
+struct Edge {
+  std::string file;
+  int line = 0;
+  std::vector<std::string> chain;
+};
+
+void check_lock_order(const Index& index, Analysis& an,
+                      std::vector<Finding>& out) {
+  // Directed acquisition-order graph: edge A->B when B is acquired (maybe
+  // via calls) while A is held.  First witness per edge wins.
+  std::map<std::pair<std::string, std::string>, Edge> edges;
+
+  for (std::size_t i = 0; i < index.functions.size(); ++i) {
+    const FunctionInfo& fn = index.functions[i];
+    for (const Event& e : fn.events) {
+      if (e.type == Event::Type::kAcquire) {
+        const std::vector<std::string> held =
+            resolve_held(index, fn, e.held);
+        const std::string to = resolve_mutex(index, fn, e.detail);
+        for (const std::string& h : held) {
+          edges.emplace(std::make_pair(h, to),
+                        Edge{fn.file, e.line, {frame(fn, e.line)}});
+        }
+      } else if (e.type == Event::Type::kCall && !e.held.empty()) {
+        const std::vector<std::string> held =
+            resolve_held(index, fn, e.held);
+        for (std::size_t c : resolve_callees(index, fn, e.detail)) {
+          if (c == i) continue;
+          for (const auto& [key, chain] : an.acquired(c)) {
+            for (const std::string& h : held) {
+              std::vector<std::string> witness = {frame(fn, e.line)};
+              witness.insert(witness.end(), chain.begin(), chain.end());
+              edges.emplace(std::make_pair(h, key),
+                            Edge{fn.file, e.line, std::move(witness)});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::map<std::string, std::set<std::string>> adj;
+  for (const auto& [key, edge] : edges) {
+    (void)edge;
+    if (key.first != key.second) adj[key.first].insert(key.second);
+  }
+  auto reachable = [&](const std::string& from, const std::string& to) {
+    std::set<std::string> seen;
+    std::vector<std::string> stack = {from};
+    while (!stack.empty()) {
+      const std::string cur = stack.back();
+      stack.pop_back();
+      if (cur == to) return true;
+      if (!seen.insert(cur).second) continue;
+      const auto it = adj.find(cur);
+      if (it == adj.end()) continue;
+      for (const std::string& next : it->second) stack.push_back(next);
+    }
+    return false;
+  };
+
+  for (const auto& [key, edge] : edges) {
+    const auto& [from, to] = key;
+    if (from == to) {
+      out.push_back({edge.file, edge.line, "lock-order",
+                     "mutex '" + from +
+                         "' acquired while already held on this path "
+                         "(std mutexes are non-recursive: self-deadlock)",
+                     edge.chain});
+      continue;
+    }
+    if (reachable(to, from)) {
+      out.push_back({edge.file, edge.line, "lock-order",
+                     "lock acquisition order cycle: '" + from +
+                         "' is held while acquiring '" + to +
+                         "' here, but elsewhere '" + to +
+                         "' is held while (transitively) acquiring '" + from +
+                         "' — a potential deadlock; pick one global order",
+                     edge.chain});
+    }
+  }
+}
+
+void check_blocking_under_lock(const Index& index, Analysis& an,
+                               std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < index.functions.size(); ++i) {
+    const FunctionInfo& fn = index.functions[i];
+    for (const Event& e : fn.events) {
+      if (e.held.empty()) continue;
+      const std::vector<std::string> held = resolve_held(index, fn, e.held);
+      if (e.type == Event::Type::kBlocking) {
+        out.push_back({fn.file, e.line, "blocking-under-lock",
+                       "blocking operation '" + e.detail +
+                           "' while holding " + join_keys(held) +
+                           "; move the wait outside the critical section",
+                       {frame(fn, e.line)}});
+      } else if (e.type == Event::Type::kCall) {
+        for (std::size_t c : resolve_callees(index, fn, e.detail)) {
+          if (c == i || !an.can_block(c)) continue;
+          std::vector<std::string> chain = {frame(fn, e.line)};
+          chain.insert(chain.end(), an.block_chain[c].begin(),
+                       an.block_chain[c].end());
+          out.push_back({fn.file, e.line, "blocking-under-lock",
+                         "call to '" + index.functions[c].qualified +
+                             "' can block while holding " + join_keys(held) +
+                             "; move the call outside the critical section",
+                         std::move(chain)});
+          break;
+        }
+      }
+    }
+  }
+}
+
+void check_cv_wait_predicate(const Index& index, std::vector<Finding>& out) {
+  for (const FunctionInfo& fn : index.functions) {
+    for (const Event& e : fn.events) {
+      if (e.type != Event::Type::kCvWaitNoPred) continue;
+      out.push_back({fn.file, e.line, "cv-wait-predicate",
+                     "condition_variable wait on '" + e.detail +
+                         "' without a predicate: spurious or lost wakeups "
+                         "break the protocol; use cv.wait(lk, [&]{ return "
+                         "<condition>; })",
+                     {frame(fn, e.line)}});
+    }
+  }
+}
+
+void check_noexcept_boundary(const Index& index, Analysis& an,
+                             const Options& options,
+                             std::vector<Finding>& out) {
+  std::set<std::string> boundaries(options.exception_boundaries.begin(),
+                                   options.exception_boundaries.end());
+  for (std::size_t i = 0; i < index.functions.size(); ++i) {
+    const FunctionInfo& fn = index.functions[i];
+    const bool configured = boundaries.count(fn.qualified) != 0;
+    if (!fn.is_noexcept && !fn.is_destructor && !configured) continue;
+    if (!an.can_throw(i)) continue;
+    const char* why = configured
+                          ? "a configured no-throw entry point"
+                          : (fn.is_noexcept ? "declared noexcept"
+                                            : "a destructor (implicitly "
+                                              "noexcept)");
+    out.push_back({fn.file, fn.line, "noexcept-boundary",
+                   "'" + fn.qualified + "' is " + std::string(why) +
+                       " but can reach a throw; catch at this boundary or "
+                       "make the callee non-throwing",
+                   an.throw_chain[i]});
+  }
+}
+
+void check_hot_path_alloc(const Index& index, const Options& options,
+                          std::vector<Finding>& out) {
+  std::set<std::string> hot_fns(options.hot_alloc_functions.begin(),
+                                options.hot_alloc_functions.end());
+  for (const FunctionInfo& fn : index.functions) {
+    bool hot = hot_fns.count(fn.qualified) || hot_fns.count(fn.simple);
+    // Lambdas defined inside a hot function inherit its hot scope (their
+    // qualified name is "<hot>::<lambda:line>").
+    for (const std::string& name : options.hot_alloc_functions) {
+      if (fn.qualified.rfind(name + "::<lambda", 0) == 0) hot = true;
+    }
+    for (const std::string& dir : options.hot_alloc_dirs) {
+      if (path_contains(fn.file, dir)) hot = true;
+    }
+    if (!hot) continue;
+    for (const Event& e : fn.events) {
+      if (e.type != Event::Type::kAlloc) continue;
+      out.push_back({fn.file, e.line, "hot-path-alloc",
+                     "allocation in hot path: '" + e.detail + "' inside '" +
+                         fn.qualified +
+                         "'; pre-size buffers outside the kernel or hoist "
+                         "into the caller",
+                     {frame(fn, e.line)}});
+    }
+  }
+}
+
+}  // namespace
+
+void run_global_checks(const Index& index, const Options& options,
+                       std::vector<Finding>& out) {
+  Analysis an(index);
+  check_lock_order(index, an, out);
+  check_blocking_under_lock(index, an, out);
+  check_cv_wait_predicate(index, out);
+  check_noexcept_boundary(index, an, options, out);
+  check_hot_path_alloc(index, options, out);
+}
+
+}  // namespace repro_lint

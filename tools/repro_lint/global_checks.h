@@ -1,0 +1,25 @@
+// Pass 2 of the cross-TU analyzer: whole-program checks over the Index.
+//
+//   lock-order           cycles (and self-cycles) in the global mutex
+//                        acquisition-order graph, propagated through calls
+//   blocking-under-lock  blocking operations reachable while a lock is held
+//   cv-wait-predicate    condition_variable::wait without a predicate
+//   noexcept-boundary    throw-capable code reachable from noexcept
+//                        functions, destructors, or configured entry points
+//   hot-path-alloc       allocation / container growth in SIMD kernels and
+//                        configured hot functions
+//
+// Every finding carries the cross-TU call chain that justifies it.
+#pragma once
+
+#include <vector>
+
+#include "index.h"
+#include "lint.h"
+
+namespace repro_lint {
+
+void run_global_checks(const Index& index, const Options& options,
+                       std::vector<Finding>& out);
+
+}  // namespace repro_lint

@@ -1,0 +1,724 @@
+#include "index.h"
+
+#include <algorithm>
+
+namespace repro_lint {
+namespace {
+
+bool is_keyword(const std::string& s) {
+  static const std::set<std::string> kw = {
+      "if",       "for",      "while",    "switch",   "catch",   "return",
+      "static_assert",        "sizeof",   "alignof",  "decltype", "throw",
+      "new",      "delete",   "operator", "co_await", "co_return", "assert",
+      "defined",  "case",     "do",       "else",     "typeid"};
+  return kw.count(s) != 0;
+}
+
+bool is_mutex_type(const std::string& s) {
+  static const std::set<std::string> types = {
+      "mutex", "shared_mutex", "timed_mutex", "recursive_mutex",
+      "recursive_timed_mutex", "shared_timed_mutex"};
+  return types.count(s) != 0;
+}
+
+bool is_cv_type(const std::string& s) {
+  return s == "condition_variable" || s == "condition_variable_any";
+}
+
+bool is_guard_type(const std::string& s) {
+  static const std::set<std::string> types = {"lock_guard", "unique_lock",
+                                              "scoped_lock", "shared_lock"};
+  return types.count(s) != 0;
+}
+
+// Operations that can park the calling thread.  Socket I/O, pool fan-out,
+// joins, sleeps and stream flushes; `submit(...).get()` chains are matched
+// structurally in extract_events.
+bool is_blocking_name(const std::string& s) {
+  static const std::set<std::string> names = {
+      "poll",        "select",    "accept",      "connect",   "send",
+      "recv",        "sendto",    "recvfrom",    "send_all",  "recv_all",
+      "read_exact",  "read_line", "peek_byte",   "accept_connection",
+      "join",        "parallel_for", "sleep_for", "sleep_until", "flush"};
+  return names.count(s) != 0;
+}
+
+// Member calls that grow or allocate storage.
+bool is_growth_name(const std::string& s) {
+  static const std::set<std::string> names = {
+      "push_back", "emplace_back", "resize", "reserve", "insert", "assign",
+      "emplace",   "append"};
+  return names.count(s) != 0;
+}
+
+// Walks back from `i` (exclusive) over an `a.b->c` style receiver chain and
+// returns its source text.  `i` points at the `.` / `->` before the member.
+std::string receiver_text(const std::vector<Token>& toks, std::size_t i,
+                          std::size_t lo) {
+  // Collect tokens of the postfix expression ending at i-1: idents joined by
+  // `.` / `->` / `::`, possibly with (...) / [...] groups we render as-is.
+  std::vector<std::string> parts;
+  std::size_t k = i;
+  bool expect_name = true;
+  while (k > lo) {
+    const Token& t = toks[k - 1];
+    if (expect_name) {
+      if (t.kind == Kind::kIdent || is_ident(t, "this")) {
+        parts.push_back(t.text);
+        expect_name = false;
+        --k;
+        continue;
+      }
+      break;
+    }
+    if (is_punct(t, ".") || is_punct(t, "->") || is_punct(t, "::")) {
+      parts.push_back(t.text);
+      expect_name = true;
+      --k;
+      continue;
+    }
+    break;
+  }
+  if (parts.empty()) return "";
+  // A dangling separator (expression started mid-chain) — drop it.
+  if (expect_name && !parts.empty() &&
+      (parts.back() == "." || parts.back() == "->" || parts.back() == "::")) {
+    parts.pop_back();
+  }
+  std::string out;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) out += *it;
+  return out;
+}
+
+// Splits the top-level comma-separated arguments of the group opened at
+// `open` (a "(" token); returns the token ranges [first, last) of each arg.
+std::vector<std::pair<std::size_t, std::size_t>> split_args(
+    const std::vector<Token>& toks, std::size_t open, std::size_t close) {
+  std::vector<std::pair<std::size_t, std::size_t>> args;
+  int paren = 0, brace = 0, bracket = 0, angle = 0;
+  std::size_t start = open + 1;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const Token& t = toks[i];
+    if (is_punct(t, "(")) ++paren;
+    if (is_punct(t, ")")) --paren;
+    if (is_punct(t, "{")) ++brace;
+    if (is_punct(t, "}")) --brace;
+    if (is_punct(t, "[")) ++bracket;
+    if (is_punct(t, "]")) --bracket;
+    if (is_punct(t, "<")) ++angle;
+    if (is_punct(t, ">")) --angle;
+    if (is_punct(t, ",") && paren == 0 && brace == 0 && bracket == 0 &&
+        angle <= 0) {
+      args.emplace_back(start, i);
+      start = i + 1;
+    }
+  }
+  if (start < close) args.emplace_back(start, close);
+  return args;
+}
+
+std::string range_text(const std::vector<Token>& toks, std::size_t lo,
+                       std::size_t hi) {
+  std::string out;
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (!out.empty() && toks[i].kind == Kind::kIdent &&
+        toks[i - 1].kind == Kind::kIdent) {
+      out += ' ';
+    }
+    out += toks[i].text;
+  }
+  return out;
+}
+
+// A live lock guard (or a raw `m.lock()` pseudo-guard, named by its mutex
+// expression) inside one function body.
+struct Guard {
+  std::string name;                 // variable name; expr text for raw locks
+  std::vector<std::string> mutexes; // raw mutex expressions it holds
+  int depth = 0;                    // brace depth of the declaration
+  bool active = false;              // false for defer_lock / after unlock()
+};
+
+struct Extractor {
+  const std::vector<Token>& toks;
+  FunctionInfo& fn;
+
+  std::vector<Guard> guards;
+  // [lo, hi) token ranges protected by a try-with-catch.
+  std::vector<std::pair<std::size_t, std::size_t>> protected_ranges;
+
+  bool is_protected(std::size_t i) const {
+    for (const auto& r : protected_ranges) {
+      if (i >= r.first && i < r.second) return true;
+    }
+    return false;
+  }
+
+  std::vector<std::string> held() const {
+    std::vector<std::string> out;
+    for (const Guard& g : guards) {
+      if (!g.active) continue;
+      for (const std::string& m : g.mutexes) {
+        if (std::find(out.begin(), out.end(), m) == out.end()) {
+          out.push_back(m);
+        }
+      }
+    }
+    return out;
+  }
+
+  Guard* find_guard(const std::string& name) {
+    for (auto it = guards.rbegin(); it != guards.rend(); ++it) {
+      if (it->name == name) return &*it;
+    }
+    return nullptr;
+  }
+
+  void emit(Event::Type type, int line, std::string detail,
+            std::vector<std::string> held_now, std::size_t tok_index) {
+    fn.events.push_back({type, line, std::move(detail), std::move(held_now),
+                         is_protected(tok_index)});
+  }
+};
+
+// Records `try { ... } catch` body ranges (catch bodies stay unprotected).
+void scan_try_ranges(const std::vector<Token>& toks, std::size_t lo,
+                     std::size_t hi, Extractor& ex) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (!is_ident(toks[i], "try")) continue;
+    std::size_t open = i + 1;
+    if (open >= hi || !is_punct(toks[open], "{")) continue;
+    const std::size_t close = match_forward(toks, open, "{", "}");
+    if (close >= hi) continue;
+    if (close + 1 < hi && is_ident(toks[close + 1], "catch")) {
+      ex.protected_ranges.emplace_back(open, close);
+    }
+  }
+}
+
+// If `i` opens a lambda introducer (`[caps](params){...}` / `[caps]{...}`),
+// returns the token indices of the body braces; otherwise {npos, npos}.
+// Subscripts are told apart by their context: `a[i]` follows a value token.
+std::pair<std::size_t, std::size_t> lambda_body(const std::vector<Token>& toks,
+                                                std::size_t i,
+                                                std::size_t lo) {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  if (!is_punct(toks[i], "[")) return {npos, npos};
+  if (i > lo) {
+    const Token& prev = toks[i - 1];
+    if (prev.kind == Kind::kIdent || is_punct(prev, ")") ||
+        is_punct(prev, "]")) {
+      return {npos, npos};  // subscript
+    }
+  }
+  std::size_t k = match_forward(toks, i, "[", "]");
+  if (k >= toks.size()) return {npos, npos};
+  ++k;
+  if (k < toks.size() && is_punct(toks[k], "(")) {
+    k = match_forward(toks, k, "(", ")") + 1;
+  }
+  // Specifiers / trailing return type before the body.
+  while (k < toks.size() &&
+         (toks[k].kind == Kind::kIdent || is_punct(toks[k], "->") ||
+          is_punct(toks[k], "::") || is_punct(toks[k], "<") ||
+          is_punct(toks[k], ">") || is_punct(toks[k], "&") ||
+          is_punct(toks[k], "*"))) {
+    ++k;
+  }
+  if (k >= toks.size() || !is_punct(toks[k], "{")) return {npos, npos};
+  return {k, match_forward(toks, k, "{", "}")};
+}
+
+// Extracts the ordered event list from one function body [open, close].
+// Lambda bodies are NOT attributed to the enclosing function — a lambda
+// usually runs on another thread (pool workers, std::thread) or later, so
+// its calls and waits must not count as synchronous work under the
+// enclosing function's locks.  Each lambda becomes its own anonymous
+// FunctionInfo in `extra` so direct findings inside it still surface.
+void extract_events(const std::vector<Token>& toks, std::size_t body_open,
+                    std::size_t body_close, FunctionInfo& fn,
+                    std::vector<FunctionInfo>& extra) {
+  Extractor ex{toks, fn, {}, {}};
+  scan_try_ranges(toks, body_open, body_close, ex);
+
+  int depth = 0;
+  for (std::size_t i = body_open; i <= body_close && i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (is_punct(t, "[")) {
+      const auto [lb, le] = lambda_body(toks, i, body_open);
+      if (lb != static_cast<std::size_t>(-1) && le <= body_close) {
+        FunctionInfo sub;
+        sub.qualified = fn.qualified + "::<lambda:" +
+                        std::to_string(toks[i].line) + ">";
+        sub.simple = "<lambda>";
+        sub.cls = fn.cls;  // captured `this` keeps member names resolvable
+        sub.file = fn.file;
+        sub.line = toks[i].line;
+        extract_events(toks, lb, le, sub, extra);
+        extra.push_back(std::move(sub));
+        i = le;  // skip the whole lambda, including its braces
+        continue;
+      }
+    }
+    if (is_punct(t, "{")) {
+      ++depth;
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      --depth;
+      // Guards declared deeper than the scope we just left die with it.
+      while (!ex.guards.empty() && ex.guards.back().depth > depth) {
+        ex.guards.pop_back();
+      }
+      continue;
+    }
+    if (t.kind != Kind::kIdent) continue;
+
+    // Local mutex declaration: [std::] mutex_type name ;
+    if (is_mutex_type(t.text) && i + 1 < body_close &&
+        toks[i + 1].kind == Kind::kIdent &&
+        (i + 2 >= toks.size() || is_punct(toks[i + 2], ";"))) {
+      fn.local_mutexes.insert(toks[i + 1].text);
+      continue;
+    }
+
+    // Guard declaration: guard_type [<...>] name ( args ) / { args }
+    if (is_guard_type(t.text)) {
+      std::size_t k = i + 1;
+      if (k < toks.size() && is_punct(toks[k], "<")) {
+        k = match_forward(toks, k, "<", ">") + 1;
+      }
+      if (k >= toks.size() || toks[k].kind != Kind::kIdent) continue;
+      const std::string name = toks[k].text;
+      std::size_t open = k + 1;
+      const bool paren = open < toks.size() && is_punct(toks[open], "(");
+      const bool brace = open < toks.size() && is_punct(toks[open], "{");
+      if (!paren && !brace) continue;
+      const std::size_t close = paren ? match_forward(toks, open, "(", ")")
+                                      : match_forward(toks, open, "{", "}");
+      Guard g;
+      g.name = name;
+      g.depth = depth;
+      g.active = true;
+      for (const auto& [lo, hi] : split_args(toks, open, close)) {
+        const std::string text = range_text(toks, lo, hi);
+        if (text.find("defer_lock") != std::string::npos) {
+          g.active = false;
+          continue;
+        }
+        if (text.find("adopt_lock") != std::string::npos ||
+            text.find("try_to_lock") != std::string::npos) {
+          continue;
+        }
+        g.mutexes.push_back(text);
+      }
+      if (g.active) {
+        for (const std::string& m : g.mutexes) {
+          ex.emit(Event::Type::kAcquire, toks[k].line, m, ex.held(), k);
+        }
+      }
+      ex.guards.push_back(std::move(g));
+      i = close;
+      continue;
+    }
+
+    // Member calls: receiver . name ( ... )
+    const bool member_call =
+        i > body_open &&
+        (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->")) &&
+        i + 1 < toks.size() && is_punct(toks[i + 1], "(");
+    const std::size_t call_open = i + 1;
+    const std::size_t call_close =
+        (i + 1 < toks.size() && is_punct(toks[i + 1], "("))
+            ? match_forward(toks, call_open, "(", ")")
+            : toks.size();
+
+    if (member_call && (t.text == "lock" || t.text == "unlock")) {
+      const std::string recv = receiver_text(toks, i - 1, body_open);
+      if (recv.empty()) continue;
+      Guard* g = ex.find_guard(recv);
+      if (t.text == "lock") {
+        if (g) {
+          if (!g->active) {
+            // Snapshot the held set before reactivating, or the relock
+            // would appear to acquire the guard's own mutex while held.
+            const std::vector<std::string> h = ex.held();
+            g->active = true;
+            for (const std::string& m : g->mutexes) {
+              ex.emit(Event::Type::kAcquire, t.line, m, h, i);
+            }
+          }
+        } else {
+          // Raw mutex lock: a pseudo-guard keyed by the expression itself.
+          std::vector<std::string> h = ex.held();
+          ex.emit(Event::Type::kAcquire, t.line, recv, h, i);
+          Guard raw;
+          raw.name = recv;
+          raw.mutexes = {recv};
+          raw.depth = depth;
+          raw.active = true;
+          ex.guards.push_back(std::move(raw));
+        }
+      } else {  // unlock
+        if (g) g->active = false;
+      }
+      i = call_close;
+      continue;
+    }
+
+    // Condition-variable wait: cv.wait(lk [, pred]) — recognized by its
+    // first argument being a live guard, so no receiver-type lookup needed.
+    if (member_call &&
+        (t.text == "wait" || t.text == "wait_for" || t.text == "wait_until")) {
+      const auto args = split_args(toks, call_open, call_close);
+      if (!args.empty()) {
+        const std::string first = range_text(toks, args[0].first,
+                                             args[0].second);
+        Guard* g = ex.find_guard(first);
+        if (g) {
+          // wait() releases its own lock; only *other* held locks block.
+          std::vector<std::string> h;
+          for (const std::string& m : ex.held()) {
+            if (std::find(g->mutexes.begin(), g->mutexes.end(), m) ==
+                g->mutexes.end()) {
+              h.push_back(m);
+            }
+          }
+          const std::string recv = receiver_text(toks, i - 1, body_open);
+          ex.emit(Event::Type::kBlocking, t.line, recv + "." + t.text, h, i);
+          if (t.text == "wait" && args.size() == 1) {
+            ex.emit(Event::Type::kCvWaitNoPred, t.line, recv, h, i);
+          }
+          i = call_open;  // still walk the predicate body for events
+          continue;
+        }
+      }
+    }
+
+    // Blocking call (direct or member): name(...).
+    if (i + 1 < toks.size() && is_punct(toks[i + 1], "(") &&
+        is_blocking_name(t.text)) {
+      ex.emit(Event::Type::kBlocking, t.line, t.text, ex.held(), i);
+      i = call_open;  // walk arguments too (parallel_for lambdas)
+      continue;
+    }
+
+    // submit(...).get() — a pool future consumed inline.
+    if (i + 1 < toks.size() && is_punct(toks[i + 1], "(") &&
+        t.text == "submit" && call_close + 3 < toks.size() &&
+        is_punct(toks[call_close + 1], ".") &&
+        is_ident(toks[call_close + 2], "get") &&
+        is_punct(toks[call_close + 3], "(")) {
+      ex.emit(Event::Type::kBlocking, t.line, "submit(...).get", ex.held(), i);
+      i = call_open;
+      continue;
+    }
+
+    // Throw sites.  REPRO_CHECK* macros expand to `throw ContractViolation`.
+    if (t.text == "throw" || t.text == "rethrow_exception" ||
+        t.text.rfind("REPRO_CHECK", 0) == 0) {
+      ex.emit(Event::Type::kThrow, t.line, t.text, ex.held(), i);
+      continue;
+    }
+
+    // Allocation sites.
+    if (t.text == "new") {
+      // No placement/operator-new filtering: any `new` in a hot path is a
+      // finding.
+      ex.emit(Event::Type::kAlloc, t.line, "new", ex.held(), i);
+      continue;
+    }
+    if ((t.text == "malloc" || t.text == "calloc" || t.text == "realloc") &&
+        i + 1 < toks.size() && is_punct(toks[i + 1], "(")) {
+      ex.emit(Event::Type::kAlloc, t.line, t.text, ex.held(), i);
+      continue;
+    }
+    if (member_call && is_growth_name(t.text)) {
+      ex.emit(Event::Type::kAlloc, t.line, "." + t.text, ex.held(), i);
+      continue;
+    }
+    // Container construction: [std::] vector<...> name ( / { with args.
+    if (t.text == "vector" && i + 1 < toks.size() &&
+        is_punct(toks[i + 1], "<")) {
+      const std::size_t gt = match_forward(toks, i + 1, "<", ">");
+      if (gt + 1 < toks.size() && toks[gt + 1].kind == Kind::kIdent &&
+          gt + 2 < toks.size() &&
+          (is_punct(toks[gt + 2], "(") || is_punct(toks[gt + 2], "{"))) {
+        ex.emit(Event::Type::kAlloc, t.line,
+                "vector " + toks[gt + 1].text + " construction", ex.held(),
+                i);
+        i = gt + 1;
+        continue;
+      }
+    }
+
+    // Plain calls feeding the call graph.
+    if (i + 1 < toks.size() && is_punct(toks[i + 1], "(") &&
+        !is_keyword(t.text) && t.text.rfind("REPRO_", 0) != 0) {
+      std::string detail;
+      if (i > body_open && is_punct(toks[i - 1], "::")) {
+        if (i >= 2 && toks[i - 2].kind == Kind::kIdent) {
+          const std::string& qual = toks[i - 2].text;
+          if (qual == "std" || qual == "chrono") {
+            i = call_open;
+            continue;
+          }
+          detail = qual + "::" + t.text;
+        }
+      } else if (member_call) {
+        detail = "." + t.text;
+      } else if (i > body_open && toks[i - 1].kind == Kind::kIdent) {
+        // `Type name(` — a declaration, not a call.
+        i = call_open;
+        continue;
+      } else {
+        detail = t.text;
+      }
+      if (!detail.empty()) {
+        ex.emit(Event::Type::kCall, t.line, detail, ex.held(), i);
+      }
+      // Do not skip the argument range: nested calls are events too.
+      continue;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Class scan: class/struct bodies -> lockable members.
+// ---------------------------------------------------------------------------
+
+void scan_classes(const std::vector<Token>& toks, Index& index) {
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "class") && !is_ident(toks[i], "struct")) continue;
+    if (i > 0 && is_ident(toks[i - 1], "enum")) continue;
+    if (i + 1 >= toks.size() || toks[i + 1].kind != Kind::kIdent) continue;
+    const std::string name = toks[i + 1].text;
+    // Find the body '{', bailing at ';' (forward declaration) or '('.
+    std::size_t k = i + 2;
+    int angle = 0;
+    while (k < toks.size() && !is_punct(toks[k], ";") &&
+           !is_punct(toks[k], ")")) {
+      if (is_punct(toks[k], "<")) ++angle;
+      if (is_punct(toks[k], ">")) --angle;
+      if (is_punct(toks[k], "{") && angle <= 0) break;
+      ++k;
+    }
+    if (k >= toks.size() || !is_punct(toks[k], "{")) continue;
+    const std::size_t body_end = match_forward(toks, k, "{", "}");
+    ClassInfo& info = index.classes[name];
+    // Shallow scan: members at depth 1 only (nested bodies are skipped here;
+    // the outer loop reaches nested classes on its own).
+    int depth = 0;
+    for (std::size_t p = k; p < body_end; ++p) {
+      if (is_punct(toks[p], "{")) {
+        ++depth;
+        continue;
+      }
+      if (is_punct(toks[p], "}")) {
+        --depth;
+        continue;
+      }
+      if (depth != 1 || toks[p].kind != Kind::kIdent) continue;
+      if (p + 1 < body_end && toks[p + 1].kind == Kind::kIdent &&
+          p + 2 <= body_end && is_punct(toks[p + 2], ";")) {
+        if (is_mutex_type(toks[p].text)) {
+          info.mutex_members.insert(toks[p + 1].text);
+        } else if (is_cv_type(toks[p].text)) {
+          info.cv_members.insert(toks[p + 1].text);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Function scan: definitions with qualified names and event lists.
+// ---------------------------------------------------------------------------
+
+// After the parameter list's ')', steps over cv/ref/noexcept qualifiers,
+// trailing return types and constructor initializer lists; returns the index
+// of the body '{', or toks.size() when this is not a definition.
+std::size_t find_body_open(const std::vector<Token>& toks,
+                           std::size_t params_end, bool& out_noexcept) {
+  std::size_t k = params_end + 1;
+  out_noexcept = false;
+  while (k < toks.size()) {
+    const Token& t = toks[k];
+    if (is_ident(t, "const") || is_ident(t, "override") ||
+        is_ident(t, "final") || is_ident(t, "mutable") ||
+        is_punct(t, "&")) {
+      ++k;
+      continue;
+    }
+    if (is_ident(t, "noexcept")) {
+      if (k + 1 < toks.size() && is_punct(toks[k + 1], "(")) {
+        const std::size_t close = match_forward(toks, k + 1, "(", ")");
+        std::string inner = range_text(toks, k + 2, close);
+        out_noexcept = (inner != "false");
+        k = close + 1;
+      } else {
+        out_noexcept = true;
+        ++k;
+      }
+      continue;
+    }
+    if (is_punct(t, "->")) {  // trailing return type
+      ++k;
+      while (k < toks.size() && !is_punct(toks[k], "{") &&
+             !is_punct(toks[k], ";")) {
+        ++k;
+      }
+      continue;
+    }
+    if (is_punct(t, ":")) {  // constructor initializer list
+      ++k;
+      int paren = 0;
+      while (k < toks.size()) {
+        if (is_punct(toks[k], "(")) ++paren;
+        if (is_punct(toks[k], ")")) --paren;
+        if (is_punct(toks[k], ";")) return toks.size();
+        if (is_punct(toks[k], "{") && paren == 0) {
+          // `member{...}` init braces follow an identifier; the body brace
+          // follows ')' / '}' / the ':' itself.
+          if (toks[k - 1].kind == Kind::kIdent) {
+            k = match_forward(toks, k, "{", "}") + 1;
+            continue;
+          }
+          return k;
+        }
+        ++k;
+      }
+      return toks.size();
+    }
+    if (is_punct(t, "{")) return k;
+    return toks.size();  // ';', '=', ',' ... declaration or expression
+  }
+  return toks.size();
+}
+
+void scan_functions(const std::string& path, const std::vector<Token>& toks,
+                    Index& index) {
+  // Track class bodies so inline method definitions get their class, and so
+  // we can tell methods from free functions.
+  struct OpenClass {
+    std::string name;
+    std::size_t body_end;
+  };
+  std::vector<OpenClass> open_classes;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    while (!open_classes.empty() && i > open_classes.back().body_end) {
+      open_classes.pop_back();
+    }
+    const Token& t = toks[i];
+    if ((is_ident(t, "class") || is_ident(t, "struct")) &&
+        !(i > 0 && is_ident(toks[i - 1], "enum")) && i + 1 < toks.size() &&
+        toks[i + 1].kind == Kind::kIdent) {
+      std::size_t k = i + 2;
+      int angle = 0;
+      while (k < toks.size() && !is_punct(toks[k], ";") &&
+             !is_punct(toks[k], ")")) {
+        if (is_punct(toks[k], "<")) ++angle;
+        if (is_punct(toks[k], ">")) --angle;
+        if (is_punct(toks[k], "{") && angle <= 0) break;
+        ++k;
+      }
+      if (k < toks.size() && is_punct(toks[k], "{")) {
+        open_classes.push_back(
+            {toks[i + 1].text, match_forward(toks, k, "{", "}")});
+        i = k;  // descend into the class body
+      }
+      continue;
+    }
+
+    if (!is_punct(t, "(")) continue;
+    if (i == 0 || toks[i - 1].kind != Kind::kIdent) continue;
+    const std::string simple = toks[i - 1].text;
+    if (is_keyword(simple) || is_guard_type(simple)) continue;
+    const std::size_t name_idx = i - 1;
+
+    // Qualification: `Class :: name (` or `~` for destructors.
+    std::string cls;
+    std::string qualified = simple;
+    std::string display_simple = simple;
+    bool is_dtor = false;
+    std::size_t before = name_idx;
+    if (before > 0 && is_punct(toks[before - 1], "~")) {
+      is_dtor = true;
+      display_simple = "~" + simple;
+      --before;
+    }
+    if (before > 1 && is_punct(toks[before - 1], "::") &&
+        toks[before - 2].kind == Kind::kIdent) {
+      cls = toks[before - 2].text;
+      if (cls == "std" || cls == "chrono") continue;
+      qualified = cls + "::" + display_simple;
+    } else if (!open_classes.empty()) {
+      cls = open_classes.back().name;
+      qualified = cls + "::" + display_simple;
+    } else {
+      qualified = display_simple;
+    }
+
+    const std::size_t params_end = match_forward(toks, i, "(", ")");
+    if (params_end >= toks.size()) break;
+    bool fn_noexcept = false;
+    const std::size_t body_open =
+        find_body_open(toks, params_end, fn_noexcept);
+    if (body_open >= toks.size()) {
+      i = params_end;
+      continue;
+    }
+    const std::size_t body_end = match_forward(toks, body_open, "{", "}");
+
+    FunctionInfo fn;
+    fn.qualified = qualified;
+    fn.simple = display_simple;
+    fn.cls = cls;
+    fn.file = path;
+    fn.line = toks[name_idx].line;
+    fn.is_noexcept = fn_noexcept;
+    fn.is_destructor = is_dtor;
+    std::vector<FunctionInfo> lambdas;
+    extract_events(toks, body_open, body_end, fn, lambdas);
+
+    const std::size_t idx = index.functions.size();
+    index.functions.push_back(std::move(fn));
+    index.by_simple[display_simple].push_back(idx);
+    index.by_qualified[qualified].push_back(idx);
+    // Lambdas are indexed for their own direct findings, but are not call
+    // targets (nothing resolves to "<lambda>").
+    for (FunctionInfo& lam : lambdas) {
+      const std::size_t li = index.functions.size();
+      index.by_qualified[lam.qualified].push_back(li);
+      index.functions.push_back(std::move(lam));
+    }
+
+    i = body_end;
+  }
+}
+
+void scan_file_mutexes(const std::string& path,
+                       const std::vector<Token>& toks, Index& index) {
+  // Namespace-scope mutex variables: `std::mutex name;` outside any brace
+  // nesting deeper than namespace blocks is hard to tell apart cheaply, so
+  // approximate: any `mutex name ;` sequence whose name is not also a class
+  // member lands in the file set.  Duplicates with members are harmless —
+  // member resolution runs first.
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind == Kind::kIdent && is_mutex_type(toks[i].text) &&
+        toks[i + 1].kind == Kind::kIdent && is_punct(toks[i + 2], ";")) {
+      index.file_mutexes[path].insert(toks[i + 1].text);
+    }
+  }
+}
+
+}  // namespace
+
+void Index::add_file(const std::string& path, const Source& src) {
+  scan_classes(src.tokens, *this);
+  scan_functions(path, src.tokens, *this);
+  scan_file_mutexes(path, src.tokens, *this);
+}
+
+}  // namespace repro_lint

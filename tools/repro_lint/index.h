@@ -1,0 +1,98 @@
+// Pass 1 of the cross-TU analyzer: a project-wide symbol index and
+// approximate call graph.
+//
+// The index is built from the same token streams the per-file checks walk.
+// It records, per translation unit:
+//
+//   * classes and which of their members are mutexes / condition variables,
+//   * every function definition (free functions and methods, keyed by
+//     qualified name `Class::method` / `name`), and
+//   * per function, an ordered event list: lock acquisitions with the set of
+//     locks already held, calls, blocking operations, condition-variable
+//     waits, throw sites, and allocation sites.
+//
+// Mutex identities and callees are recorded as raw expression text here;
+// resolution against the whole-program index (enclosing-class members,
+// globally-unique member names, file-scoped fallbacks) happens in pass 2
+// (global_checks.cpp), once every file has been scanned.
+//
+// This is deliberately approximate — a tokenizer, not a compiler.  The
+// false-positive policy for each downstream check is documented in
+// DESIGN.md §9.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "internal.h"
+
+namespace repro_lint {
+
+struct Event {
+  enum class Type {
+    kAcquire,    // detail = raw mutex expression
+    kCall,       // detail = callee (see below)
+    kBlocking,   // detail = blocking operation name
+    kCvWaitNoPred,  // detail = condition-variable expression
+    kThrow,      // detail = "throw" | "REPRO_CHECK..." | "rethrow_exception"
+    kAlloc,      // detail = allocation description
+  };
+  Type type;
+  int line = 0;
+  std::string detail;
+  // Raw mutex expressions held when the event fires, in acquisition order.
+  // For kCvWaitNoPred / cv-originated kBlocking the wait's own lock has
+  // already been removed (wait releases it).
+  std::vector<std::string> held;
+  // True when the event sits inside a `try` block that has at least one
+  // catch clause (catch bodies themselves are NOT protected).
+  bool protected_by_try = false;
+};
+
+// Callee encoding in Event::detail for kCall:
+//   "name"        bare call — free function, or method of the enclosing class
+//   ".name"       member call through an object (receiver type unknown)
+//   "Cls::name"   explicitly qualified call
+// std:: calls are not recorded (assumed non-blocking / non-throwing; the
+// ones that matter — lock primitives, waits — have dedicated event types).
+
+struct FunctionInfo {
+  std::string qualified;    // "Class::name" or "name"; dtors "Class::~Class"
+  std::string simple;       // "name" / "~Class"
+  std::string cls;          // enclosing class, "" for free functions
+  std::string file;
+  int line = 0;
+  bool is_noexcept = false;    // declared noexcept (and not noexcept(false))
+  bool is_destructor = false;  // implicitly noexcept
+  std::set<std::string> local_mutexes;  // function-local mutex declarations
+  std::vector<Event> events;
+};
+
+struct ClassInfo {
+  std::set<std::string> mutex_members;
+  std::set<std::string> cv_members;
+};
+
+struct Index {
+  // Class simple name -> lockable members.  Collisions across namespaces
+  // merge (acceptable: member-name resolution falls back to file:expr keys
+  // when ambiguous anyway).
+  std::map<std::string, ClassInfo> classes;
+  std::vector<FunctionInfo> functions;
+  // simple name -> indices into `functions` (overloads and same-named
+  // methods of different classes all listed).
+  std::map<std::string, std::vector<std::size_t>> by_simple;
+  // qualified name -> indices into `functions`.
+  std::map<std::string, std::vector<std::size_t>> by_qualified;
+  // file -> namespace-scope mutex variable names declared in that file.
+  std::map<std::string, std::set<std::string>> file_mutexes;
+
+  // Scans one tokenized file into the index (classes, then functions with
+  // their event lists).  `path` should already be normalized.
+  void add_file(const std::string& path, const Source& src);
+};
+
+}  // namespace repro_lint

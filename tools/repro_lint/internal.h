@@ -1,0 +1,63 @@
+// Shared tokenizer and token helpers for the repro_lint translation units.
+//
+// The analyzer stays a tokenizer plus lightweight structural trackers — no
+// libclang, no preprocessor — so everything downstream (the per-file checks
+// in lint.cpp, the cross-TU index in index.cpp, the whole-program checks in
+// global_checks.cpp) works off this one token stream representation.
+// Internal header: nothing here is part of the lint.h public API.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace repro_lint {
+
+enum class Kind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct Directive {
+  std::string text;  // whole logical line, backslash-continuations joined
+  int line;
+};
+
+struct Source {
+  std::vector<Token> tokens;
+  std::vector<Directive> directives;
+  // line -> checks suppressed on that line (and the line below).
+  std::map<int, std::set<std::string>> line_allow;
+  std::set<std::string> file_allow;
+};
+
+// Tokenizes one source buffer.  Comments and preprocessor directives are
+// captured separately: comments feed the suppression map, directives feed the
+// hygiene checks, and neither appears in the main token stream.
+Source tokenize(const std::string& src);
+
+// "#include <x>" -> {angle, "x"}; empty name when not an include.
+struct IncludeLine {
+  bool angle = false;
+  std::string name;
+  int line = 0;
+};
+IncludeLine parse_include(const Directive& d);
+
+bool is_punct(const Token& t, const char* text);
+bool is_ident(const Token& t, const char* text);
+
+// Index of the token matching the opener at `open` ("(" / "{" / "["), or
+// tokens.size() when unbalanced.
+std::size_t match_forward(const std::vector<Token>& toks, std::size_t open,
+                          const char* opener, const char* closer);
+
+std::string normalize_path(const std::string& path);
+bool path_contains(const std::string& normalized, const std::string& needle);
+bool is_header(const std::string& normalized);
+
+}  // namespace repro_lint

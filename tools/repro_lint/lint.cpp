@@ -9,251 +9,15 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
+
+#include "global_checks.h"
+#include "index.h"
+#include "internal.h"
 
 namespace repro_lint {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Tokenizer.  Comments and preprocessor directives are captured separately:
-// comments feed the suppression map, directives feed the hygiene checks, and
-// neither appears in the main token stream the semantic checks walk.
-// ---------------------------------------------------------------------------
-
-enum class Kind { kIdent, kNumber, kString, kChar, kPunct };
-
-struct Token {
-  Kind kind;
-  std::string text;
-  int line;
-};
-
-struct Directive {
-  std::string text;  // whole logical line, backslash-continuations joined
-  int line;
-};
-
-struct Source {
-  std::vector<Token> tokens;
-  std::vector<Directive> directives;
-  // line -> checks suppressed on that line (and the line below).
-  std::map<int, std::set<std::string>> line_allow;
-  std::set<std::string> file_allow;
-};
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-// Parses "repro-lint: allow(a, b)" / "repro-lint: allow-file(a)" occurrences
-// inside a comment and records them for `line`.
-void scan_comment(const std::string& comment, int line, Source& out) {
-  const std::string marker = "repro-lint:";
-  std::size_t pos = comment.find(marker);
-  while (pos != std::string::npos) {
-    std::size_t p = pos + marker.size();
-    while (p < comment.size() && comment[p] == ' ') ++p;
-    bool file_wide = false;
-    if (comment.compare(p, 10, "allow-file") == 0) {
-      file_wide = true;
-      p += 10;
-    } else if (comment.compare(p, 5, "allow") == 0) {
-      p += 5;
-    } else {
-      pos = comment.find(marker, p);
-      continue;
-    }
-    while (p < comment.size() && comment[p] == ' ') ++p;
-    if (p < comment.size() && comment[p] == '(') {
-      const std::size_t close = comment.find(')', p);
-      if (close != std::string::npos) {
-        std::string name;
-        for (std::size_t i = p + 1; i <= close; ++i) {
-          const char c = comment[i];
-          if (c == ',' || c == ')') {
-            if (!name.empty()) {
-              if (file_wide) {
-                out.file_allow.insert(name);
-              } else {
-                out.line_allow[line].insert(name);
-              }
-            }
-            name.clear();
-          } else if (c != ' ') {
-            name += c;
-          }
-        }
-        p = close + 1;
-      }
-    }
-    pos = comment.find(marker, p);
-  }
-}
-
-Source tokenize(const std::string& src) {
-  Source out;
-  int line = 1;
-  std::size_t i = 0;
-  const std::size_t n = src.size();
-  bool at_line_start = true;  // only whitespace seen since the last newline
-
-  auto advance_newlines = [&](std::size_t from, std::size_t to) {
-    for (std::size_t k = from; k < to; ++k) {
-      if (src[k] == '\n') ++line;
-    }
-  };
-
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      at_line_start = true;
-      continue;
-    }
-    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
-      ++i;
-      continue;
-    }
-    // Preprocessor directive: capture the whole logical line.
-    if (c == '#' && at_line_start) {
-      const int start_line = line;
-      std::string text;
-      while (i < n && src[i] != '\n') {
-        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
-          ++line;
-          i += 2;
-          text += ' ';
-          continue;
-        }
-        text += src[i++];
-      }
-      out.directives.push_back({text, start_line});
-      continue;
-    }
-    at_line_start = false;
-    // Comments.
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      const std::size_t end = src.find('\n', i);
-      const std::size_t stop = (end == std::string::npos) ? n : end;
-      scan_comment(src.substr(i, stop - i), line, out);
-      i = stop;
-      continue;
-    }
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      const std::size_t end = src.find("*/", i + 2);
-      const std::size_t stop = (end == std::string::npos) ? n : end + 2;
-      scan_comment(src.substr(i, stop - i), line, out);
-      advance_newlines(i, stop);
-      i = stop;
-      continue;
-    }
-    // Raw string literal.
-    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-      std::size_t p = i + 2;
-      std::string delim;
-      while (p < n && src[p] != '(') delim += src[p++];
-      const std::string closer = ")" + delim + "\"";
-      const std::size_t end = src.find(closer, p);
-      const std::size_t stop =
-          (end == std::string::npos) ? n : end + closer.size();
-      out.tokens.push_back({Kind::kString, src.substr(i, stop - i), line});
-      advance_newlines(i, stop);
-      i = stop;
-      continue;
-    }
-    // String / char literals.
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      std::size_t p = i + 1;
-      while (p < n && src[p] != quote) {
-        if (src[p] == '\\' && p + 1 < n) ++p;
-        if (src[p] == '\n') ++line;
-        ++p;
-      }
-      const std::size_t stop = (p < n) ? p + 1 : n;
-      out.tokens.push_back({quote == '"' ? Kind::kString : Kind::kChar,
-                            src.substr(i, stop - i), line});
-      i = stop;
-      continue;
-    }
-    if (ident_start(c)) {
-      std::size_t p = i + 1;
-      while (p < n && ident_char(src[p])) ++p;
-      out.tokens.push_back({Kind::kIdent, src.substr(i, p - i), line});
-      i = p;
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      std::size_t p = i + 1;
-      while (p < n && (ident_char(src[p]) || src[p] == '.' ||
-                       ((src[p] == '+' || src[p] == '-') &&
-                        (src[p - 1] == 'e' || src[p - 1] == 'E')))) {
-        ++p;
-      }
-      out.tokens.push_back({Kind::kNumber, src.substr(i, p - i), line});
-      i = p;
-      continue;
-    }
-    // Punctuation; multi-char operators the checks care about.
-    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
-      out.tokens.push_back({Kind::kPunct, "::", line});
-      i += 2;
-      continue;
-    }
-    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
-      out.tokens.push_back({Kind::kPunct, "->", line});
-      i += 2;
-      continue;
-    }
-    out.tokens.push_back({Kind::kPunct, std::string(1, c), line});
-    ++i;
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Shared token helpers.
-// ---------------------------------------------------------------------------
-
-bool is_punct(const Token& t, const char* text) {
-  return t.kind == Kind::kPunct && t.text == text;
-}
-bool is_ident(const Token& t, const char* text) {
-  return t.kind == Kind::kIdent && t.text == text;
-}
-
-// Index of the token matching the opener at `open` ("(" / "{" / "["), or
-// tokens.size() when unbalanced.
-std::size_t match_forward(const std::vector<Token>& toks, std::size_t open,
-                          const char* opener, const char* closer) {
-  int depth = 0;
-  for (std::size_t i = open; i < toks.size(); ++i) {
-    if (is_punct(toks[i], opener)) ++depth;
-    if (is_punct(toks[i], closer) && --depth == 0) return i;
-  }
-  return toks.size();
-}
-
-bool path_contains(const std::string& normalized, const std::string& needle) {
-  return normalized.find(needle) != std::string::npos;
-}
-
-std::string normalize_path(const std::string& path) {
-  std::string out = path;
-  std::replace(out.begin(), out.end(), '\\', '/');
-  return out;
-}
-
-bool is_header(const std::string& normalized) {
-  return normalized.size() >= 2 &&
-         (normalized.rfind(".h") == normalized.size() - 2 ||
-          (normalized.size() >= 4 &&
-           normalized.rfind(".hpp") == normalized.size() - 4));
-}
 
 // ---------------------------------------------------------------------------
 // Check 1: determinism.
@@ -404,7 +168,6 @@ void check_contracts(const std::string& path, const Source& src,
     bool anonymous_namespace = false;
   };
   std::vector<Scope> scopes;  // one entry per currently-open brace
-  bool anon_depth = false;
 
   auto in_anon = [&] {
     for (const Scope& s : scopes) {
@@ -412,7 +175,6 @@ void check_contracts(const std::string& path, const Source& src,
     }
     return false;
   };
-  (void)anon_depth;
 
   std::size_t stmt_start = 0;  // token index where the current decl began
   for (std::size_t i = 0; i < toks.size(); ++i) {
@@ -451,8 +213,6 @@ void check_contracts(const std::string& path, const Source& src,
         if (is_punct(toks[k], "<")) ++angle;
         if (is_punct(toks[k], ">")) --angle;
         if (is_punct(toks[k], "{") && angle <= 0) break;
-        // An '=' before the body means this is actually a variable of class
-        // type (`struct X x = ...` does not occur here) — bail to ';'.
         ++k;
       }
       if (k < toks.size() && is_punct(toks[k], "{")) {
@@ -543,38 +303,6 @@ void check_contracts(const std::string& path, const Source& src,
 // ---------------------------------------------------------------------------
 // Check 4: header hygiene.
 // ---------------------------------------------------------------------------
-
-// "#include <x>" -> {angle, "x"}; empty name when not an include.
-struct IncludeLine {
-  bool angle = false;
-  std::string name;
-  int line = 0;
-};
-
-IncludeLine parse_include(const Directive& d) {
-  IncludeLine out;
-  std::size_t p = 1;  // past '#'
-  while (p < d.text.size() && std::isspace(static_cast<unsigned char>(
-                                  d.text[p]))) {
-    ++p;
-  }
-  if (d.text.compare(p, 7, "include") != 0) return out;
-  p += 7;
-  while (p < d.text.size() && std::isspace(static_cast<unsigned char>(
-                                  d.text[p]))) {
-    ++p;
-  }
-  if (p >= d.text.size()) return out;
-  const char open = d.text[p];
-  const char close = (open == '<') ? '>' : (open == '"') ? '"' : '\0';
-  if (close == '\0') return out;
-  const std::size_t end = d.text.find(close, p + 1);
-  if (end == std::string::npos) return out;
-  out.angle = (open == '<');
-  out.name = d.text.substr(p + 1, end - p - 1);
-  out.line = d.line;
-  return out;
-}
 
 void check_hygiene(const std::string& path, const Source& src,
                    std::vector<Finding>& out) {
@@ -730,14 +458,10 @@ bool checked_extension(const std::string& normalized) {
   return false;
 }
 
-}  // namespace
-
-Report lint_source(const std::string& path, const std::string& content,
-                   const Options& options) {
-  const std::string normalized = normalize_path(path);
-  const Source src = tokenize(content);
-
-  std::vector<Finding> raw;
+// Per-file (pass 0) checks on one tokenized source.
+void run_file_checks(const std::string& path, const std::string& normalized,
+                     const Source& src, const Options& options,
+                     std::vector<Finding>& raw) {
   check_determinism(path, src, raw);
   check_parallel(path, src, raw);
   for (const std::string& dir : options.contract_dirs) {
@@ -752,18 +476,26 @@ Report lint_source(const std::string& path, const std::string& content,
     if (path_contains(normalized, dir)) simd_exempt = true;
   }
   if (!simd_exempt) check_simd_confinement(path, src, raw);
+}
 
-  Report report;
-  report.files_scanned = 1;
+// Moves `raw` findings into the report, dropping the ones suppressed by
+// their file's allow comments.  `sources` maps finding file -> its Source.
+void apply_suppressions(
+    const std::map<std::string, const Source*>& sources,
+    std::vector<Finding>& raw, Report& report) {
   for (Finding& f : raw) {
-    f.file = path;
-    bool suppressed = src.file_allow.count(f.check) ||
-                      src.file_allow.count("all");
-    for (int l : {f.line, f.line - 1}) {
-      const auto it = src.line_allow.find(l);
-      if (it != src.line_allow.end() &&
-          (it->second.count(f.check) || it->second.count("all"))) {
-        suppressed = true;
+    const auto sit = sources.find(f.file);
+    bool suppressed = false;
+    if (sit != sources.end()) {
+      const Source& src = *sit->second;
+      suppressed =
+          src.file_allow.count(f.check) || src.file_allow.count("all");
+      for (int l : {f.line, f.line - 1}) {
+        const auto it = src.line_allow.find(l);
+        if (it != src.line_allow.end() &&
+            (it->second.count(f.check) || it->second.count("all"))) {
+          suppressed = true;
+        }
       }
     }
     if (suppressed) {
@@ -777,6 +509,28 @@ Report lint_source(const std::string& path, const std::string& content,
               return std::tie(a.file, a.line, a.check) <
                      std::tie(b.file, b.line, b.check);
             });
+}
+
+}  // namespace
+
+Report lint_source(const std::string& path, const std::string& content,
+                   const Options& options) {
+  const std::string normalized = normalize_path(path);
+  const Source src = tokenize(content);
+
+  std::vector<Finding> raw;
+  run_file_checks(path, normalized, src, options, raw);
+
+  // Single-file cross-TU layer: index this buffer alone and run the
+  // whole-program checks over it (the unit-test entry point).
+  Index index;
+  index.add_file(path, src);
+  run_global_checks(index, options, raw);
+
+  Report report;
+  report.files_scanned = 1;
+  std::map<std::string, const Source*> sources = {{path, &src}};
+  apply_suppressions(sources, raw, report);
   return report;
 }
 
@@ -798,7 +552,12 @@ Report run_lint(const Options& options) {
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
+  // Pass 1: tokenize every checked file once; run the per-file checks and
+  // feed the cross-TU index as we go.
   Report merged;
+  std::vector<Finding> raw;
+  std::map<std::string, Source> sources;
+  Index index;
   for (const std::string& file : files) {
     const std::string normalized = normalize_path(file);
     if (!checked_extension(normalized)) continue;
@@ -811,13 +570,20 @@ Report run_lint(const Options& options) {
     if (!in) continue;
     std::ostringstream buf;
     buf << in.rdbuf();
-    Report r = lint_source(file, buf.str(), options);
-    merged.files_scanned += r.files_scanned;
-    merged.suppressed += r.suppressed;
-    merged.findings.insert(merged.findings.end(),
-                           std::make_move_iterator(r.findings.begin()),
-                           std::make_move_iterator(r.findings.end()));
+    Source src = tokenize(buf.str());
+    ++merged.files_scanned;
+    run_file_checks(file, normalized, src, options, raw);
+    index.add_file(file, src);
+    sources.emplace(file, std::move(src));
   }
+
+  // Pass 2: whole-program checks over the merged index, then suppression
+  // against each finding's own file.
+  run_global_checks(index, options, raw);
+
+  std::map<std::string, const Source*> source_ptrs;
+  for (const auto& [path, src] : sources) source_ptrs.emplace(path, &src);
+  apply_suppressions(source_ptrs, raw, merged);
   return merged;
 }
 
@@ -840,9 +606,14 @@ int run_cli(int argc, const char* const* argv) {
           << "usage: repro_lint [--root DIR] [--error-on-findings] "
              "[paths...]\n\n"
              "Scans src/, bench/, examples/, tests/ under --root (default\n"
-             "current directory) unless explicit paths are given.  Checks:\n"
-             "determinism, parallel-rng, parallel-telemetry, contracts,\n"
-             "pragma-once, banned-include, include-order, simd-confinement.\n"
+             "current directory) unless explicit paths are given.\n\n"
+             "Per-file checks: determinism, parallel-rng, parallel-telemetry,\n"
+             "contracts, pragma-once, banned-include, include-order,\n"
+             "simd-confinement.\n"
+             "Cross-TU checks (two-pass symbol index + call graph):\n"
+             "lock-order, blocking-under-lock, cv-wait-predicate,\n"
+             "noexcept-boundary, hot-path-alloc.  Findings print the call\n"
+             "chain that justifies them.\n"
              "Suppress with\n"
              "  // repro-lint: allow(<check>)       (same line or line above)\n"
              "  // repro-lint: allow-file(<check>)  (whole file)\n";
@@ -869,6 +640,9 @@ int run_cli(int argc, const char* const* argv) {
   for (const Finding& f : report.findings) {
     std::cout << f.file << ":" << f.line << ": [" << f.check << "] "
               << f.message << "\n";
+    for (const std::string& hop : f.chain) {
+      std::cout << "    via " << hop << "\n";
+    }
   }
   std::cout << "repro_lint: " << report.findings.size() << " finding(s), "
             << report.suppressed << " suppressed, " << report.files_scanned

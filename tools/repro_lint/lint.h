@@ -31,6 +31,29 @@
 //                       the dispatched KernelOps table, so the scalar
 //                       reference tier stays the single source of truth.
 //
+// On top of the per-file checks, the analyzer runs a two-pass cross-TU
+// layer: pass 1 (index.{h,cpp}) builds a project-wide symbol index and
+// approximate call graph; pass 2 (global_checks.{h,cpp}) reasons over it.
+// Whole-program checks, each reported with the call chain that justifies
+// the finding:
+//
+//   lock-order           a cycle in the global mutex acquisition-order
+//                        graph (A held while taking B here, B held while
+//                        transitively taking A elsewhere), or the same
+//                        mutex re-acquired on one path — potential deadlock.
+//   blocking-under-lock  socket I/O, submit(...).get(), parallel_for,
+//                        joins, sleeps or flushes reachable while a
+//                        lock_guard/unique_lock/raw .lock() is live.
+//   cv-wait-predicate    condition_variable::wait(lk) without a predicate
+//                        overload — lost/spurious-wakeup hazard.
+//   noexcept-boundary    throw-capable code (throw, REPRO_CHECK*,
+//                        rethrow_exception, transitively) reachable from a
+//                        noexcept function, a destructor, or a configured
+//                        entry point, outside any try/catch.
+//   hot-path-alloc       allocation or container growth inside
+//                        src/linalg/simd/ kernels or configured hot
+//                        functions (the packed-panel GEMM driver).
+//
 // Any finding is suppressible in-source with
 //
 //     // repro-lint: allow(check-a, check-b)  -- same line or line above
@@ -49,6 +72,9 @@ struct Finding {
   int line = 0;
   std::string check;
   std::string message;
+  // Cross-TU call chain justifying the finding (outermost frame first),
+  // empty for per-file checks.  Frames read "Qualified::name (file:line)".
+  std::vector<std::string> chain;
 };
 
 struct Options {
@@ -66,6 +92,16 @@ struct Options {
   // Files under these normalized-path substrings may use raw vector
   // intrinsics; everywhere else they are `simd-confinement` findings.
   std::vector<std::string> simd_dirs = {"src/linalg/simd/"};
+  // `hot-path-alloc` scope: files under these substrings, plus functions
+  // whose simple or qualified name matches an entry below.
+  std::vector<std::string> hot_alloc_dirs = {"src/linalg/simd/"};
+  std::vector<std::string> hot_alloc_functions = {"gemm_packed"};
+  // Extra `noexcept-boundary` entry points beyond noexcept functions and
+  // destructors, by qualified name: code past these must not leak
+  // exceptions (reader strands answer kInternal instead of unwinding; the
+  // batcher must never strand queued followers).
+  std::vector<std::string> exception_boundaries = {
+      "Server::handle_connection", "PredictBatcher::predict_block"};
 };
 
 struct Report {

@@ -1,3 +1,16 @@
 #include "lint.h"
 
-int main(int argc, char** argv) { return repro_lint::run_cli(argc, argv); }
+#include <cstdio>
+#include <exception>
+
+int main(int argc, char** argv) {
+  // Directory walks and file reads can throw (std::filesystem_error on a
+  // permission wall, bad_alloc on a pathological file); a lint driver
+  // should report that as a tool error, not abort.
+  try {
+    return repro_lint::run_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "repro_lint: fatal: %s\n", e.what());
+    return 2;
+  }
+}

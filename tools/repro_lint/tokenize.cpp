@@ -1,0 +1,249 @@
+#include "internal.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace repro_lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Parses "repro-lint: allow(a, b)" / "repro-lint: allow-file(a)" occurrences
+// inside a comment and records them for `line`.
+void scan_comment(const std::string& comment, int line, Source& out) {
+  const std::string marker = "repro-lint:";
+  std::size_t pos = comment.find(marker);
+  while (pos != std::string::npos) {
+    std::size_t p = pos + marker.size();
+    while (p < comment.size() && comment[p] == ' ') ++p;
+    bool file_wide = false;
+    if (comment.compare(p, 10, "allow-file") == 0) {
+      file_wide = true;
+      p += 10;
+    } else if (comment.compare(p, 5, "allow") == 0) {
+      p += 5;
+    } else {
+      pos = comment.find(marker, p);
+      continue;
+    }
+    while (p < comment.size() && comment[p] == ' ') ++p;
+    if (p < comment.size() && comment[p] == '(') {
+      const std::size_t close = comment.find(')', p);
+      if (close != std::string::npos) {
+        std::string name;
+        for (std::size_t i = p + 1; i <= close; ++i) {
+          const char c = comment[i];
+          if (c == ',' || c == ')') {
+            if (!name.empty()) {
+              if (file_wide) {
+                out.file_allow.insert(name);
+              } else {
+                out.line_allow[line].insert(name);
+              }
+            }
+            name.clear();
+          } else if (c != ' ') {
+            name += c;
+          }
+        }
+        p = close + 1;
+      }
+    }
+    pos = comment.find(marker, p);
+  }
+}
+
+}  // namespace
+
+Source tokenize(const std::string& src) {
+  Source out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto advance_newlines = [&](std::size_t from, std::size_t to) {
+    for (std::size_t k = from; k < to; ++k) {
+      if (src[k] == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: capture the whole logical line.
+    if (c == '#' && at_line_start) {
+      const int start_line = line;
+      std::string text;
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          text += ' ';
+          continue;
+        }
+        text += src[i++];
+      }
+      out.directives.push_back({text, start_line});
+      continue;
+    }
+    at_line_start = false;
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t end = src.find('\n', i);
+      const std::size_t stop = (end == std::string::npos) ? n : end;
+      scan_comment(src.substr(i, stop - i), line, out);
+      i = stop;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t end = src.find("*/", i + 2);
+      const std::size_t stop = (end == std::string::npos) ? n : end + 2;
+      scan_comment(src.substr(i, stop - i), line, out);
+      advance_newlines(i, stop);
+      i = stop;
+      continue;
+    }
+    // Raw string literal.
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && src[p] != '(') delim += src[p++];
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = src.find(closer, p);
+      const std::size_t stop =
+          (end == std::string::npos) ? n : end + closer.size();
+      out.tokens.push_back({Kind::kString, src.substr(i, stop - i), line});
+      advance_newlines(i, stop);
+      i = stop;
+      continue;
+    }
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t p = i + 1;
+      while (p < n && src[p] != quote) {
+        if (src[p] == '\\' && p + 1 < n) ++p;
+        if (src[p] == '\n') ++line;
+        ++p;
+      }
+      const std::size_t stop = (p < n) ? p + 1 : n;
+      out.tokens.push_back({quote == '"' ? Kind::kString : Kind::kChar,
+                            src.substr(i, stop - i), line});
+      i = stop;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t p = i + 1;
+      while (p < n && ident_char(src[p])) ++p;
+      out.tokens.push_back({Kind::kIdent, src.substr(i, p - i), line});
+      i = p;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t p = i + 1;
+      // Digit separators (1'000'000) are part of the literal — without this
+      // the lone quote would open a bogus char literal that swallows
+      // everything up to the next quote in the file.
+      while (p < n && (ident_char(src[p]) || src[p] == '.' ||
+                       (src[p] == '\'' && p + 1 < n &&
+                        std::isxdigit(static_cast<unsigned char>(src[p + 1]))) ||
+                       ((src[p] == '+' || src[p] == '-') &&
+                        (src[p - 1] == 'e' || src[p - 1] == 'E')))) {
+        ++p;
+      }
+      out.tokens.push_back({Kind::kNumber, src.substr(i, p - i), line});
+      i = p;
+      continue;
+    }
+    // Punctuation; multi-char operators the checks care about.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      out.tokens.push_back({Kind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      out.tokens.push_back({Kind::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({Kind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+IncludeLine parse_include(const Directive& d) {
+  IncludeLine out;
+  std::size_t p = 1;  // past '#'
+  while (p < d.text.size() &&
+         std::isspace(static_cast<unsigned char>(d.text[p]))) {
+    ++p;
+  }
+  if (d.text.compare(p, 7, "include") != 0) return out;
+  p += 7;
+  while (p < d.text.size() &&
+         std::isspace(static_cast<unsigned char>(d.text[p]))) {
+    ++p;
+  }
+  if (p >= d.text.size()) return out;
+  const char open = d.text[p];
+  const char close = (open == '<') ? '>' : (open == '"') ? '"' : '\0';
+  if (close == '\0') return out;
+  const std::size_t end = d.text.find(close, p + 1);
+  if (end == std::string::npos) return out;
+  out.angle = (open == '<');
+  out.name = d.text.substr(p + 1, end - p - 1);
+  out.line = d.line;
+  return out;
+}
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Kind::kPunct && t.text == text;
+}
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == Kind::kIdent && t.text == text;
+}
+
+std::size_t match_forward(const std::vector<Token>& toks, std::size_t open,
+                          const char* opener, const char* closer) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], opener)) ++depth;
+    if (is_punct(toks[i], closer) && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+std::string normalize_path(const std::string& path) {
+  std::string out = path;
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+bool path_contains(const std::string& normalized, const std::string& needle) {
+  return normalized.find(needle) != std::string::npos;
+}
+
+bool is_header(const std::string& normalized) {
+  return normalized.size() >= 2 &&
+         (normalized.rfind(".h") == normalized.size() - 2 ||
+          (normalized.size() >= 4 &&
+           normalized.rfind(".hpp") == normalized.size() - 4));
+}
+
+}  // namespace repro_lint
