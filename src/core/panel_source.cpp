@@ -1,0 +1,82 @@
+#include "core/panel_source.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/contracts.h"
+
+namespace repro::core {
+
+double PathPanelSource::path_weight(int) const { return 1.0; }
+
+MatrixPanelSource::MatrixPanelSource(const linalg::Matrix& a,
+                                     std::span<const double> weights)
+    : a_(&a), weights_(weights) {
+  if (!weights_.empty() && weights_.size() != a.rows()) {
+    throw std::invalid_argument(
+        "MatrixPanelSource: weights size must match matrix rows");
+  }
+}
+
+void MatrixPanelSource::fill_rows(std::span<const int> ids,
+                                  linalg::Matrix& out) const {
+  REPRO_CHECK_DIM(out.rows(), ids.size(),
+                  "MatrixPanelSource::fill_rows: panel rows vs ids");
+  REPRO_CHECK_DIM(out.cols(), a_->cols(),
+                  "MatrixPanelSource::fill_rows: panel cols vs params");
+  const std::size_t m = a_->cols();
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    const int id = ids[k];
+    if (id < 0 || static_cast<std::size_t>(id) >= a_->rows()) {
+      throw std::out_of_range("MatrixPanelSource::fill_rows: path id");
+    }
+    const double* src = a_->row(static_cast<std::size_t>(id)).data();
+    double* dst = out.row(k).data();
+    std::copy(src, src + m, dst);
+  }
+}
+
+double MatrixPanelSource::path_weight(int id) const {
+  if (weights_.empty()) return 1.0;
+  if (id < 0 || static_cast<std::size_t>(id) >= weights_.size()) {
+    throw std::out_of_range("MatrixPanelSource::path_weight: path id");
+  }
+  return weights_[static_cast<std::size_t>(id)];
+}
+
+FunctionPanelSource::FunctionPanelSource(std::size_t paths, std::size_t params,
+                                         RowFn row, WeightFn weight)
+    : paths_(paths), params_(params), row_(std::move(row)),
+      weight_(std::move(weight)) {
+  if (paths_ == 0 || params_ == 0) {
+    throw std::invalid_argument(
+        "FunctionPanelSource: pool dimensions must be positive");
+  }
+  if (!row_) {
+    throw std::invalid_argument("FunctionPanelSource: row callback required");
+  }
+}
+
+void FunctionPanelSource::fill_rows(std::span<const int> ids,
+                                    linalg::Matrix& out) const {
+  REPRO_CHECK_DIM(out.rows(), ids.size(),
+                  "FunctionPanelSource::fill_rows: panel rows vs ids");
+  REPRO_CHECK_DIM(out.cols(), params_,
+                  "FunctionPanelSource::fill_rows: panel cols vs params");
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    const int id = ids[k];
+    if (id < 0 || static_cast<std::size_t>(id) >= paths_) {
+      throw std::out_of_range("FunctionPanelSource::fill_rows: path id");
+    }
+    row_(id, out.row(k));
+  }
+}
+
+double FunctionPanelSource::path_weight(int id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= paths_) {
+    throw std::out_of_range("FunctionPanelSource::path_weight: path id");
+  }
+  return weight_ ? weight_(id) : 1.0;
+}
+
+}  // namespace repro::core

@@ -1,7 +1,11 @@
 // selection_serverd: the selection-as-a-service daemon.
 //
-// Usage: selection_serverd [socket-path]
+// Usage: selection_serverd [--max-pool-paths N] [--max-shards N] [socket-path]
 //        default socket: /tmp/repro_selection.sock
+//
+// --max-pool-paths / --max-shards tighten the open_session admission
+// ceilings (oversized requests get a structured kBadRequest instead of an
+// out-of-memory build); defaults are the protocol-level hard caps.
 //
 // Serves the binary protocol and the JSON-lines debugging front end on one
 // AF_UNIX socket (src/server/protocol.h).  SIGINT/SIGTERM, or a client
@@ -11,9 +15,11 @@
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <string>
+#include <vector>
 
 #include "server/server.h"
 
@@ -34,13 +40,44 @@ int main(int argc, char** argv) {
   // nonzero so supervisors see a failure, not an abort.
   try {
     std::string path = "/tmp/repro_selection.sock";
-    if (argc > 1) path = argv[1];
-    if (argc > 2 || path == "--help" || path == "-h") {
-      std::fprintf(stderr, "usage: selection_serverd [socket-path]\n");
-      return argc > 2 ? 2 : 0;
+    repro::server::ServerOptions options;
+    bool bad_usage = false;
+    bool want_help = false;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        want_help = true;
+      } else if (arg == "--max-pool-paths" || arg == "--max-shards") {
+        if (i + 1 >= argc) {
+          bad_usage = true;
+          break;
+        }
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(argv[++i], &end, 10);
+        if (end == nullptr || *end != '\0' || v == 0 || v > (1ul << 20)) {
+          bad_usage = true;
+          break;
+        }
+        if (arg == "--max-pool-paths") {
+          options.max_pool_paths = static_cast<std::uint32_t>(v);
+        } else {
+          options.max_shards = static_cast<std::uint32_t>(v);
+        }
+      } else {
+        positional.push_back(arg);
+      }
+    }
+    if (positional.size() > 1) bad_usage = true;
+    if (!positional.empty()) path = positional.front();
+    if (bad_usage || want_help) {
+      std::fprintf(stderr,
+                   "usage: selection_serverd [--max-pool-paths N] "
+                   "[--max-shards N] [socket-path]\n");
+      return bad_usage ? 2 : 0;
     }
 
-    repro::server::Server server;
+    repro::server::Server server(options);
     if (!server.listen(path)) {
       std::fprintf(stderr, "selection_serverd: cannot listen on %s: %s\n",
                    path.c_str(), std::strerror(errno));

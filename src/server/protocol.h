@@ -88,6 +88,10 @@ struct SessionConfig {
   std::uint32_t max_target_paths = 0;
   std::uint32_t max_candidates = 0;
   std::uint32_t yield_samples = 0;
+  // > 1 routes selection through the sharded out-of-core pipeline
+  // (core::select_paths_sharded) with this level-0 shard count; 0/1 = the
+  // monolithic route.  Bounded by ServerOptions::max_shards.
+  std::uint32_t num_shards = 0;
 
   std::string cache_key() const;
 };

@@ -18,7 +18,8 @@ constexpr std::size_t kMaxJsonLine = 1u << 20;
 // not be able to request an absurd build.
 constexpr std::uint32_t kMaxPoolOverride = 1u << 20;
 
-std::optional<std::string> validate_config(const SessionConfig& cfg) {
+std::optional<std::string> validate_config(const SessionConfig& cfg,
+                                           const ServerOptions& options) {
   if (cfg.benchmark.empty() || cfg.benchmark.size() > 64) {
     return "benchmark name must be 1..64 characters";
   }
@@ -43,6 +44,15 @@ std::optional<std::string> validate_config(const SessionConfig& cfg) {
       cfg.max_candidates > kMaxPoolOverride ||
       cfg.yield_samples > kMaxPoolOverride) {
     return "pool override out of range";
+  }
+  // Operator-configured admission ceilings: reject an oversized build here,
+  // structurally, instead of discovering it as an OOM mid-session-build.
+  if (cfg.max_target_paths > options.max_pool_paths ||
+      cfg.max_candidates > options.max_pool_paths) {
+    return "pool override exceeds server max_pool_paths limit";
+  }
+  if (cfg.num_shards > options.max_shards) {
+    return "num_shards exceeds server max_shards limit";
   }
   return std::nullopt;
 }
@@ -499,6 +509,13 @@ std::string Server::dispatch_json(const std::string& line) {
     cfg.max_target_paths = u32_field(req, "max_target_paths", 0);
     cfg.max_candidates = u32_field(req, "max_candidates", 0);
     cfg.yield_samples = u32_field(req, "yield_samples", 0);
+    // Not u32_field: an absurd shard count must reject, not silently clamp
+    // to the monolithic-route fallback.
+    const double raw_shards = req.number_or("num_shards", 0.0);
+    if (raw_shards < 0.0 || raw_shards > static_cast<double>(kMaxPoolOverride)) {
+      return json_error(id, ErrorCode::kBadRequest, "num_shards out of range");
+    }
+    cfg.num_shards = static_cast<std::uint32_t>(raw_shards);
     SessionInfo info;
     if (const auto err = do_open(cfg, info)) {
       return json_error(id, err->code, err->message);
@@ -584,7 +601,7 @@ std::optional<Server::OpError> Server::do_open(const SessionConfig& cfg,
   if (shutting_down_.load()) {
     return OpError{ErrorCode::kShuttingDown, "server is draining"};
   }
-  if (const auto why = validate_config(cfg)) {
+  if (const auto why = validate_config(cfg, options_)) {
     return OpError{ErrorCode::kBadRequest, *why};
   }
   try {

@@ -3,6 +3,8 @@
 #include <thread>
 
 #include "core/measurement.h"
+#include "core/panel_source.h"
+#include "core/sharded_selection.h"
 #include "linalg/gemm.h"
 #include "util/telemetry.h"
 
@@ -141,8 +143,27 @@ std::shared_ptr<Session> build_session(const SessionConfig& cfg,
   opt.kappa = cfg.kappa;
   opt.strategy = static_cast<core::SelectionStrategy>(cfg.strategy);
   opt.min_r = cfg.min_r;
-  s->selection = core::select_representative_paths(
-      *s->selector, gram, s->experiment->t_cons_ps(), opt);
+  if (cfg.num_shards > 1) {
+    // Sharded out-of-core route (DESIGN.md §14): partition the pool, select
+    // per shard, verify/repair globally.  The pool here is in memory
+    // already, so this is the service's capacity escape hatch for configs
+    // whose dense Gram would not fit — and the protocol surface for
+    // operating the pipeline remotely.
+    core::ShardedSelectionOptions sopt;
+    sopt.num_shards = cfg.num_shards;
+    sopt.selection = opt;
+    const core::MatrixPanelSource source(a);
+    const core::ShardedSelectionResult sharded = core::select_paths_sharded(
+        source, s->experiment->t_cons_ps(), sopt);
+    s->selection.representatives = sharded.representatives;
+    s->selection.exact_rank = s->selector->rank();
+    s->selection.eps_r = sharded.eps_r;
+    s->selection.errors = core::selection_errors_from_gram(
+        gram, sharded.representatives, s->experiment->t_cons_ps(), opt.kappa);
+  } else {
+    s->selection = core::select_representative_paths(
+        *s->selector, gram, s->experiment->t_cons_ps(), opt);
+  }
 
   s->predictor =
       core::make_path_predictor(a, mu, s->selection.representatives);

@@ -1,0 +1,25 @@
+// Deliberate hot-path-alloc violations in a panel provider: this file is NOT
+// under src/linalg/simd/, so the findings come from the hot_alloc_functions
+// name list ("MatrixPanelSource::fill_rows"), exercising the qualified-name
+// scoping that guards the per-shard inner loop of the sharded selection
+// pipeline (core/panel_source.h documents the no-allocation contract).
+#include <cstddef>
+#include <vector>
+
+struct MatrixPanelSource {
+  void fill_rows(const int* ids, std::size_t count, const double* data,
+                 std::size_t cols, double* panel);
+};
+
+void MatrixPanelSource::fill_rows(const int* ids, std::size_t count,
+                                  const double* data, std::size_t cols,
+                                  double* panel) {
+  std::vector<double> staged(cols);  // hot-path-alloc: per-call scratch
+  std::vector<std::size_t> visited;
+  for (std::size_t r = 0; r < count; ++r) {
+    const double* row = data + static_cast<std::size_t>(ids[r]) * cols;
+    for (std::size_t j = 0; j < cols; ++j) staged[j] = row[j];
+    visited.push_back(r);  // hot-path-alloc: growth in the row loop
+    for (std::size_t j = 0; j < cols; ++j) panel[r * cols + j] = staged[j];
+  }
+}

@@ -1,0 +1,20 @@
+// Counterpart of panel_fill_bad.cpp: the provider fills the caller-shaped
+// panel directly — rows are copied straight from the backing storage into the
+// destination, no per-call scratch, no container growth.  This is the idiom
+// src/core/panel_source.cpp uses for the per-shard streaming loop.
+#include <algorithm>
+#include <cstddef>
+
+struct MatrixPanelSource {
+  void fill_rows(const int* ids, std::size_t count, const double* data,
+                 std::size_t cols, double* panel);
+};
+
+void MatrixPanelSource::fill_rows(const int* ids, std::size_t count,
+                                  const double* data, std::size_t cols,
+                                  double* panel) {
+  for (std::size_t r = 0; r < count; ++r) {
+    const double* row = data + static_cast<std::size_t>(ids[r]) * cols;
+    std::copy(row, row + cols, panel + r * cols);
+  }
+}

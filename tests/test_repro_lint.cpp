@@ -46,18 +46,19 @@ TEST(ReproLint, FixtureCountsAreExact) {
   EXPECT_EQ(counts.at("simd-confinement"), 5);
   // Cross-TU checks: AB/BA cycle (one finding per inverted edge) plus a
   // self-deadlocking re-lock; a direct send under lock plus one reached
-  // through blocking_helper.cpp; and two allocation sites in the kernel
-  // fixture.
+  // through blocking_helper.cpp; two allocation sites in the kernel fixture
+  // (dir-scoped) and two in the panel-provider fixture (name-scoped via
+  // hot_alloc_functions).
   EXPECT_EQ(counts.at("lock-order"), 3);
   EXPECT_EQ(counts.at("blocking-under-lock"), 2);
   EXPECT_EQ(counts.at("cv-wait-predicate"), 1);
   EXPECT_EQ(counts.at("noexcept-boundary"), 1);
-  EXPECT_EQ(counts.at("hot-path-alloc"), 2);
-  EXPECT_EQ(report.findings.size(), 28u);
+  EXPECT_EQ(counts.at("hot-path-alloc"), 4);
+  EXPECT_EQ(report.findings.size(), 30u);
   // One determinism allow(), one contracts allow(), one simd-confinement
   // allow(), and one blocking-under-lock allow() in the fixtures.
   EXPECT_EQ(report.suppressed, 4);
-  EXPECT_EQ(report.files_scanned, 15);
+  EXPECT_EQ(report.files_scanned, 17);
 }
 
 TEST(ReproLint, EveryCheckHasAFixtureTruePositive) {
@@ -249,6 +250,21 @@ TEST(ReproLint, HotPathAllocScopedToKernelDirsAndFunctions) {
       options);
   ASSERT_EQ(named.findings.size(), 1u);
   EXPECT_EQ(named.findings[0].check, "hot-path-alloc");
+
+  // Qualified entries ("MatrixPanelSource::fill_rows") bind to the method,
+  // not to every function that happens to be called fill_rows.
+  const Report method = repro_lint::lint_source(
+      "src/core/probe.cpp",
+      "#include <vector>\n"
+      "struct MatrixPanelSource { void fill_rows(std::vector<double>& v); };\n"
+      "void MatrixPanelSource::fill_rows(std::vector<double>& v) {\n"
+      "  v.push_back(0.0);\n"
+      "}\n"
+      "void fill_rows(std::vector<double>& v) { v.push_back(0.0); }\n",
+      options);
+  ASSERT_EQ(method.findings.size(), 1u);
+  EXPECT_EQ(method.findings[0].check, "hot-path-alloc");
+  EXPECT_EQ(method.findings[0].line, 4);
 }
 
 TEST(ReproLint, CliExitCodes) {

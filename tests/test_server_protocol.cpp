@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <string>
@@ -78,6 +79,7 @@ TEST(ServerProtocol, PayloadCodecsRoundTrip) {
   cfg.max_target_paths = 123;
   cfg.max_candidates = 4567;
   cfg.yield_samples = 89;
+  cfg.num_shards = 6;
   SessionConfig cfg2;
   ASSERT_TRUE(decode_open_session(encode_open_session(cfg), cfg2));
   EXPECT_EQ(cfg2.benchmark, cfg.benchmark);
@@ -88,6 +90,7 @@ TEST(ServerProtocol, PayloadCodecsRoundTrip) {
   EXPECT_EQ(cfg2.max_target_paths, cfg.max_target_paths);
   EXPECT_EQ(cfg2.max_candidates, cfg.max_candidates);
   EXPECT_EQ(cfg2.yield_samples, cfg.yield_samples);
+  EXPECT_EQ(cfg2.num_shards, cfg.num_shards);
   EXPECT_EQ(cfg.cache_key(), cfg2.cache_key());
 
   // Doubles travel as IEEE bits: NaN slots survive.
@@ -166,6 +169,64 @@ TEST_F(ServerFixture, SecondOpenOfSameConfigDoesZeroSelectionWork) {
   EXPECT_FALSE(third.cached);
   EXPECT_NE(third.session, first.session);
   EXPECT_GT(counter_value("linalg.qr_colpivot.calls"), qrcp_after_build);
+}
+
+TEST(ServerLimits, OversizedOpensRejectedStructurallyAndShardedRouteWorks) {
+  util::telemetry::set_enabled(true);
+  ServerOptions options;
+  options.max_pool_paths = 4000;  // small_config() fits exactly under this
+  options.max_shards = 4;
+  Server server(options);
+
+  Client client;
+  auto [ours, theirs] = util::socket_pair();
+  ASSERT_TRUE(ours.valid() && theirs.valid());
+  server.serve_fd(std::move(theirs));
+  ASSERT_TRUE(client.adopt(std::move(ours)));
+
+  // Pool override beyond the operator ceiling: structured kBadRequest, no
+  // build attempted.
+  SessionConfig big = small_config();
+  big.max_candidates = 4001;
+  SessionInfo info;
+  EXPECT_FALSE(client.open_session(big, info));
+  EXPECT_EQ(client.last_error(), ErrorCode::kBadRequest);
+  EXPECT_NE(client.last_error_message().find("max_pool_paths"),
+            std::string::npos);
+
+  // Shard count beyond the ceiling: same structured rejection.
+  SessionConfig too_many = small_config();
+  too_many.num_shards = 5;
+  EXPECT_FALSE(client.open_session(too_many, info));
+  EXPECT_EQ(client.last_error(), ErrorCode::kBadRequest);
+  EXPECT_NE(client.last_error_message().find("max_shards"),
+            std::string::npos);
+
+  // The connection stays usable, and an in-range shard count routes the
+  // session through the sharded pipeline.
+  SessionConfig sharded = small_config();
+  sharded.num_shards = 3;
+  ASSERT_TRUE(client.open_session(sharded, info)) <<
+      client.last_error_message();
+  EXPECT_GT(info.rank, 0u);
+  EXPECT_EQ(info.n_meas, info.representatives.size());
+  EXPECT_GT(info.n_meas, 0u);
+  EXPECT_TRUE(std::is_sorted(info.representatives.begin(),
+                             info.representatives.end()));
+
+  // num_shards is part of the cache key: the monolithic config is a
+  // different session.
+  SessionInfo mono;
+  ASSERT_TRUE(client.open_session(small_config(), mono));
+  EXPECT_NE(mono.session, info.session);
+
+  // A sharded session predicts like any other.
+  std::vector<double> measured(info.n_meas, 100.0);
+  std::vector<double> predicted;
+  EXPECT_TRUE(client.predict(info.session, measured, predicted));
+  EXPECT_EQ(predicted.size(), info.n_rem);
+
+  server.stop();
 }
 
 TEST_F(ServerFixture, BatchedPredictsBitIdenticalToSerialAtAnyThreadCount) {

@@ -1,0 +1,363 @@
+#include "core/sharded_selection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/error_model.h"
+#include "core/panel_source.h"
+#include "core/path_selection.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace repro::core {
+namespace {
+
+linalg::Matrix random_matrix(std::size_t r, std::size_t c,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  linalg::Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.normal();
+  }
+  return m;
+}
+
+// Path-like pool: rows share a few dominant directions plus idiosyncratic
+// noise (steep singular-value decay like the paper's Figure 2(a)).
+linalg::Matrix correlated_rows(std::size_t n, std::size_t m, std::size_t k,
+                               double noise, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const linalg::Matrix base = random_matrix(k, m, seed + 1);
+  linalg::Matrix a(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 0; d < k; ++d) {
+      const double w = rng.uniform(0.2, 1.0);
+      linalg::axpy(w, base.row(d), a.row(i));
+    }
+    for (std::size_t j = 0; j < m; ++j) a(i, j) += noise * rng.normal();
+  }
+  return a;
+}
+
+std::vector<double> synthetic_gate_counts(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = static_cast<double>(8 + rng.uniform_index(40));
+  }
+  return w;
+}
+
+TEST(PanelSource, MatrixSourceFillsRequestedRows) {
+  const linalg::Matrix a = random_matrix(10, 4, 7);
+  const MatrixPanelSource source(a);
+  EXPECT_EQ(source.paths(), 10u);
+  EXPECT_EQ(source.params(), 4u);
+
+  const std::vector<int> ids = {7, 0, 3};
+  linalg::Matrix panel(ids.size(), 4);
+  source.fill_rows(ids, panel);
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(panel(k, j), a(static_cast<std::size_t>(ids[k]), j));
+    }
+  }
+  EXPECT_EQ(source.path_weight(3), 1.0);
+
+  const std::vector<int> bad = {10};
+  linalg::Matrix one(1, 4);
+  EXPECT_THROW(source.fill_rows(bad, one), std::out_of_range);
+}
+
+TEST(PanelSource, MatrixSourceWeightsBackGatePolicy) {
+  const linalg::Matrix a = random_matrix(5, 3, 9);
+  const std::vector<double> weights = {1, 2, 3, 4, 5};
+  const MatrixPanelSource source(a, weights);
+  EXPECT_EQ(source.path_weight(0), 1.0);
+  EXPECT_EQ(source.path_weight(4), 5.0);
+  EXPECT_THROW(source.path_weight(5), std::out_of_range);
+  EXPECT_THROW(MatrixPanelSource(a, std::vector<double>(3, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(PanelSource, FunctionSourceGeneratesRowsOnDemand) {
+  const linalg::Matrix a = random_matrix(12, 5, 11);
+  const FunctionPanelSource source(
+      12, 5,
+      [&](int id, std::span<double> row) {
+        const auto src = a.row(static_cast<std::size_t>(id));
+        std::copy(src.begin(), src.end(), row.begin());
+      },
+      [](int id) { return 1.0 + id; });
+
+  const std::vector<int> ids = {11, 2};
+  linalg::Matrix panel(2, 5);
+  source.fill_rows(ids, panel);
+  EXPECT_EQ(panel(0, 0), a(11, 0));
+  EXPECT_EQ(panel(1, 4), a(2, 4));
+  EXPECT_EQ(source.path_weight(3), 4.0);
+
+  linalg::Matrix wrong(2, 4);
+  if (util::contracts_enabled()) {
+    EXPECT_THROW(source.fill_rows(ids, wrong), util::ContractViolation);
+  }
+}
+
+TEST(PanelSource, BudgetTracksPeakAcrossLeases) {
+  PanelBudget budget;
+  {
+    PanelLease a(&budget, 100);
+    EXPECT_EQ(budget.current(), 100u);
+    {
+      PanelLease b(&budget, 50);
+      EXPECT_EQ(budget.current(), 150u);
+    }
+    EXPECT_EQ(budget.current(), 100u);
+    PanelLease moved = std::move(a);
+    EXPECT_EQ(budget.current(), 100u);
+  }
+  EXPECT_EQ(budget.current(), 0u);
+  EXPECT_EQ(budget.peak(), 150u);
+}
+
+TEST(ShardPlan, PartitionsPoolExactlyOnce) {
+  const linalg::Matrix a = correlated_rows(600, 24, 6, 0.1, 31);
+  const MatrixPanelSource source(a);
+  std::vector<int> pool(a.rows());
+  std::iota(pool.begin(), pool.end(), 0);
+
+  ShardedSelectionOptions opt;
+  opt.num_shards = 5;
+  const ShardPlan plan = plan_shards(source, pool, opt);
+  EXPECT_EQ(plan.members.size(), 5u);
+  EXPECT_GE(plan.clusters_used, 1u);
+
+  std::vector<int> covered;
+  for (const auto& shard : plan.members) {
+    EXPECT_FALSE(shard.empty());
+    EXPECT_TRUE(std::is_sorted(shard.begin(), shard.end()));
+    covered.insert(covered.end(), shard.begin(), shard.end());
+  }
+  std::sort(covered.begin(), covered.end());
+  EXPECT_EQ(covered, pool);
+}
+
+TEST(ShardPlan, DeterministicFromSeedAndIndependentOfThreads) {
+  const linalg::Matrix a = correlated_rows(500, 20, 5, 0.1, 37);
+  const MatrixPanelSource source(a);
+  std::vector<int> pool(a.rows());
+  std::iota(pool.begin(), pool.end(), 0);
+
+  ShardedSelectionOptions opt;
+  opt.num_shards = 4;
+  const std::size_t saved = util::thread_count();
+  util::set_threads(1);
+  const ShardPlan p1 = plan_shards(source, pool, opt);
+  util::set_threads(4);
+  const ShardPlan p2 = plan_shards(source, pool, opt);
+  util::set_threads(saved);
+  EXPECT_EQ(p1.members, p2.members);
+  EXPECT_EQ(p1.weight, p2.weight);
+
+  ShardedSelectionOptions other = opt;
+  other.seed = opt.seed + 1;
+  const ShardPlan p3 = plan_shards(source, pool, other);
+  EXPECT_NE(p1.members, p3.members);  // different seed, different k-means
+}
+
+TEST(ShardPlan, GateBalancedPolicyBalancesWeightNotCount) {
+  const std::size_t n = 800;
+  const linalg::Matrix a = correlated_rows(n, 24, 6, 0.1, 41);
+  const std::vector<double> gates = synthetic_gate_counts(n, 42);
+  const MatrixPanelSource source(a, gates);
+  std::vector<int> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+
+  ShardedSelectionOptions opt;
+  opt.num_shards = 6;
+  opt.policy = ShardPolicy::kGateBalanced;
+  const ShardPlan plan = plan_shards(source, pool, opt);
+  ASSERT_EQ(plan.members.size(), 6u);
+
+  // Greedy heaviest-first packing bounds the spread by the largest chunk
+  // weight; with ~133-path chunks and weights in [8, 47] the shard weights
+  // must stay comfortably balanced.
+  const auto [lo, hi] =
+      std::minmax_element(plan.weight.begin(), plan.weight.end());
+  EXPECT_GT(*lo, 0.0);
+  EXPECT_LT(*hi / *lo, 2.0);
+  for (std::size_t s = 0; s < plan.members.size(); ++s) {
+    double sum = 0.0;
+    for (int id : plan.members[s]) sum += gates[static_cast<std::size_t>(id)];
+    EXPECT_DOUBLE_EQ(sum, plan.weight[s]);
+  }
+}
+
+TEST(ShardedSelection, MeetsGlobalToleranceOnCorrelatedPool) {
+  const linalg::Matrix a = correlated_rows(900, 32, 8, 0.05, 51);
+  const MatrixPanelSource source(a);
+
+  ShardedSelectionOptions opt;
+  opt.num_shards = 4;
+  opt.selection.epsilon = 0.05;
+  opt.selection.strategy = SelectionStrategy::kGreedySweep;
+  const double t_cons = 2000.0;
+  const ShardedSelectionResult r = select_paths_sharded(source, t_cons, opt);
+
+  EXPECT_TRUE(r.tolerance_met);
+  EXPECT_LE(r.eps_r, opt.selection.epsilon);
+  EXPECT_EQ(r.shards, 4u);
+  EXPECT_EQ(r.shard_stats.size(), 4u);
+  EXPECT_GE(r.union_paths, r.representatives.size());
+  EXPECT_GT(r.peak_panel_bytes, 0u);
+  EXPECT_TRUE(std::is_sorted(r.representatives.begin(),
+                             r.representatives.end()));
+  EXPECT_EQ(std::adjacent_find(r.representatives.begin(),
+                               r.representatives.end()),
+            r.representatives.end());
+
+  // The streamed verifier must agree with the reference error model.
+  const SelectionErrors check =
+      selection_errors(a, r.representatives, t_cons, opt.selection.kappa);
+  EXPECT_NEAR(r.eps_r, check.eps_r, 1e-8 + 1e-6 * check.eps_r);
+}
+
+TEST(ShardedSelection, BitIdenticalAcrossThreadCounts) {
+  const linalg::Matrix a = correlated_rows(700, 28, 6, 0.08, 61);
+  const MatrixPanelSource source(a);
+
+  ShardedSelectionOptions opt;
+  opt.num_shards = 5;
+  opt.selection.epsilon = 0.04;
+  const std::size_t saved = util::thread_count();
+  util::set_threads(1);
+  const ShardedSelectionResult r1 = select_paths_sharded(source, 2000.0, opt);
+  util::set_threads(4);
+  const ShardedSelectionResult r4 = select_paths_sharded(source, 2000.0, opt);
+  util::set_threads(saved);
+
+  EXPECT_EQ(r1.representatives, r4.representatives);
+  EXPECT_EQ(r1.eps_r, r4.eps_r);  // bitwise, not approximate
+  EXPECT_EQ(r1.union_paths, r4.union_paths);
+  EXPECT_EQ(r1.repair_promotions, r4.repair_promotions);
+  EXPECT_EQ(r1.shards, r4.shards);
+}
+
+TEST(ShardedSelection, RecursiveMergeBoundsPanelMemory) {
+  // Pool big enough to force at least one recursive merge level with a
+  // small cap; peak resident panel bytes must stay far below the dense
+  // matrix the monolithic route would build (n^2 Gram).
+  const std::size_t n = 3000;
+  const linalg::Matrix a = correlated_rows(n, 24, 6, 0.05, 71);
+  const MatrixPanelSource source(a);
+
+  ShardedSelectionOptions opt;
+  opt.target_shard_paths = 500;
+  opt.merge_pool_cap = 600;
+  opt.block_rows = 512;
+  opt.selection.epsilon = 0.05;
+  const ShardedSelectionResult r = select_paths_sharded(source, 2000.0, opt);
+
+  EXPECT_TRUE(r.tolerance_met);
+  EXPECT_GE(r.levels, 1u);
+  EXPECT_LE(r.union_paths, opt.merge_pool_cap);
+  const std::size_t dense_gram_bytes = n * n * sizeof(double);
+  EXPECT_LT(r.peak_panel_bytes, dense_gram_bytes / 4);
+}
+
+TEST(ShardedSelection, MemoryCapBoundsConcurrentShardLeases) {
+  // Without a cap, every pool worker leases a shard working set (fill panel
+  // + Gram) at once, so the peak scales with the thread count.  With
+  // memory_cap_bytes set, the SELECT phase runs in waves and the peak must
+  // stay near one wave's worth regardless of workers — and the result must
+  // be bitwise unchanged (waves only sequence the indexed slots).
+  const std::size_t n = 2000;
+  const std::size_t m = 16;
+  const linalg::Matrix a = correlated_rows(n, m, 6, 0.05, 81);
+  const MatrixPanelSource source(a);
+
+  ShardedSelectionOptions opt;
+  opt.num_shards = 4;  // explicit: the pool fits merge_pool_cap on its own
+  opt.block_rows = 512;
+  opt.selection.epsilon = 0.05;
+  const std::size_t shard_ws =
+      panel_bytes(500, m) + panel_bytes(500, 500);  // one working set
+
+  const std::size_t saved = util::thread_count();
+  util::set_threads(4);
+  const ShardedSelectionResult loose = select_paths_sharded(source, 2000.0, opt);
+  opt.memory_cap_bytes = shard_ws + shard_ws / 2;  // room for exactly one
+  const ShardedSelectionResult capped =
+      select_paths_sharded(source, 2000.0, opt);
+  util::set_threads(saved);
+
+  EXPECT_EQ(capped.representatives, loose.representatives);
+  EXPECT_EQ(capped.eps_r, loose.eps_r);  // bitwise
+  EXPECT_EQ(capped.shards, loose.shards);
+  // One shard working set plus the serial plan/verify streaming overhead
+  // (sample panel, assignment blocks, representative panel + cross blocks).
+  const std::size_t stream_slack = panel_bytes(n, m) + (1u << 20);
+  EXPECT_LE(capped.peak_panel_bytes, shard_ws + stream_slack);
+  EXPECT_GE(loose.peak_panel_bytes, capped.peak_panel_bytes);
+}
+
+// Satellite: sharded-then-repaired quality must stay within a pinned factor
+// of the monolithic greedy sweep, across seeds and both shard policies.
+TEST(ShardedSelection, QualityParityWithMonolithicAcrossSeedsAndPolicies) {
+  constexpr double kSizeFactor = 2.0;  // pinned parity factor
+  const double t_cons = 2000.0;
+  for (const std::uint64_t seed : {101u, 202u, 303u}) {
+    const std::size_t n = 1200;
+    const linalg::Matrix a = correlated_rows(n, 40, 10, 0.05, seed);
+    const std::vector<double> gates = synthetic_gate_counts(n, seed + 7);
+
+    PathSelectionOptions mono_opt;
+    mono_opt.strategy = SelectionStrategy::kGreedySweep;
+    mono_opt.epsilon = 0.05;
+    const PathSelectionResult mono =
+        select_representative_paths(a, t_cons, mono_opt);
+    EXPECT_LE(mono.eps_r, mono_opt.epsilon);
+
+    for (const ShardPolicy policy :
+         {ShardPolicy::kPathBalanced, ShardPolicy::kGateBalanced}) {
+      const MatrixPanelSource source(a, gates);
+      ShardedSelectionOptions opt;
+      opt.policy = policy;
+      opt.num_shards = 4;
+      opt.selection = mono_opt;
+      const ShardedSelectionResult sharded =
+          select_paths_sharded(source, t_cons, opt);
+
+      EXPECT_TRUE(sharded.tolerance_met)
+          << "seed " << seed << " policy " << static_cast<int>(policy);
+      // eps parity: the repaired global error may not exceed the pinned
+      // factor of the monolithic error (or the tolerance itself, whichever
+      // is larger — monolithic eps can sit at a rank cliff near zero).
+      EXPECT_LE(sharded.eps_r,
+                std::max(kSizeFactor * mono.eps_r, mono_opt.epsilon));
+      // size parity: sharding may buy its memory bound with extra
+      // representatives, but only up to the pinned factor.
+      EXPECT_LE(sharded.representatives.size(),
+                static_cast<std::size_t>(
+                    kSizeFactor *
+                    static_cast<double>(mono.representatives.size())) +
+                    1);
+    }
+  }
+}
+
+TEST(ShardedSelection, RejectsDegenerateInputs) {
+  const linalg::Matrix a = random_matrix(4, 3, 5);
+  const MatrixPanelSource source(a);
+  EXPECT_THROW(select_paths_sharded(source, 0.0, {}), std::invalid_argument);
+  std::vector<int> empty;
+  EXPECT_THROW(plan_shards(source, empty, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repro::core

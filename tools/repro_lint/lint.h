@@ -93,9 +93,14 @@ struct Options {
   // intrinsics; everywhere else they are `simd-confinement` findings.
   std::vector<std::string> simd_dirs = {"src/linalg/simd/"};
   // `hot-path-alloc` scope: files under these substrings, plus functions
-  // whose simple or qualified name matches an entry below.
+  // whose simple or qualified name matches an entry below.  The panel-source
+  // fill_rows implementations are the per-shard inner loops of the sharded
+  // selection pipeline (core/panel_source.h documents the no-allocation
+  // contract); listing them here makes a silent allocation a lint failure.
   std::vector<std::string> hot_alloc_dirs = {"src/linalg/simd/"};
-  std::vector<std::string> hot_alloc_functions = {"gemm_packed"};
+  std::vector<std::string> hot_alloc_functions = {
+      "gemm_packed", "MatrixPanelSource::fill_rows",
+      "FunctionPanelSource::fill_rows"};
   // Extra `noexcept-boundary` entry points beyond noexcept functions and
   // destructors, by qualified name: code past these must not leak
   // exceptions (reader strands answer kInternal instead of unwinding; the

@@ -45,6 +45,11 @@ REQUIRED_METRICS = {
     "server": ("requests_per_s", "concurrent_sessions",
                "batched_speedup_vs_serial", "batch_mean_size",
                "bit_identical", "cache_hit_zero_refactor"),
+    "shard_scale": ("n_paths", "shards", "levels", "eps_r", "tolerance_met",
+                    "repair_promotions", "peak_panel_bytes",
+                    "mem_budget_bytes", "dense_bytes", "mem_ok",
+                    "parity_factor", "parity_ratio_path", "parity_ratio_gate",
+                    "parity_ok", "thread_invariant"),
 }
 # Perf-regression gate: minimum dispatched-tier-over-scalar speedups, keyed
 # by bench.  Ratios cancel the runner's clock, so the floors hold on any
@@ -181,6 +186,41 @@ def validate(path):
                 raise ValueError(
                     f"server regression: batched_speedup_vs_serial = "
                     f"{speedup:.3g} below the 2.0 floor at default scale")
+    if rec["bench"] == "shard_scale":
+        # Sharded out-of-core gate (ISSUE 10 acceptance): the pipeline must
+        # meet the global tolerance after repair, stay bit-identical across
+        # thread counts, and keep sharded quality within the pinned parity
+        # factor of the monolithic greedy sweep.  The memory ceiling is the
+        # point of the bench: peak leased panel bytes must stay under the
+        # harness budget at every scale, and at default/full scale (the
+        # million-path pools) strictly under a quarter of the dense n*m
+        # footprint the monolithic route would need.
+        met = rec["metrics"]
+        if not met["tolerance_met"]:
+            raise ValueError("shard regression: global tolerance not met "
+                             "after the verify/repair pass")
+        if not met["thread_invariant"]:
+            raise ValueError("shard regression: sharded selection is not "
+                             "bit-identical across thread counts")
+        if not met["parity_ok"]:
+            raise ValueError(
+                f"shard regression: sharded quality outside the "
+                f"{met['parity_factor']}x parity envelope (path ratio "
+                f"{float(met['parity_ratio_path']):.3f}, gate ratio "
+                f"{float(met['parity_ratio_gate']):.3f})")
+        peak = int(met["peak_panel_bytes"])
+        budget = int(met["mem_budget_bytes"])
+        if not met["mem_ok"] or peak > budget:
+            raise ValueError(
+                f"shard regression: peak panel memory {peak} bytes above "
+                f"the {budget}-byte ceiling")
+        if rec["scale_mode"] in ("default", "full"):
+            dense = int(met["dense_bytes"])
+            if peak * 4 > dense:
+                raise ValueError(
+                    f"shard regression: peak panel memory {peak} bytes is "
+                    f"not out-of-core (>= 1/4 of the {dense}-byte dense "
+                    f"footprint)")
     for key in TELEMETRY_KEYS:
         if key not in rec["telemetry"]:
             raise ValueError(f"telemetry missing {key!r}")
